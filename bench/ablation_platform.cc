@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Platform ablations beyond the paper: sensitivity of the headline
+ * metrics (worst-path p99 latency, vision mean, image drops, power)
+ * to the platform parameters the paper's conclusions implicitly
+ * hinge on — CPU core count, memory-interference strength, GPU
+ * throughput, and subscriber queue depth is covered by the
+ * middleware design. These quantify DESIGN.md's claims that the
+ * observed bottlenecks are software-efficiency, not capacity,
+ * limits (Finding 3).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+
+using namespace av;
+
+namespace {
+
+void
+runRow(util::Table &table, const bench::BenchEnv &env,
+       const std::string &label, prof::RunConfig cfg)
+{
+    prof::CharacterizationRun run(env.drive(), cfg);
+    run.execute();
+    const auto vis =
+        run.nodeLatencySeries("vision_detection").summarize();
+    double drop_rate = 0.0;
+    for (const auto &row : run.drops())
+        if (row.topic == "/image_raw")
+            drop_rate = row.dropRate();
+    table.addRow(
+        {label, util::Table::num(vis.mean),
+         util::Table::num(run.paths().worstCaseMean()),
+         util::Table::num(run.paths().worstCaseP99()),
+         util::Table::pct(drop_rate),
+         util::Table::num(run.power().cpuWatts().mean() +
+                          run.power().gpuWatts().mean())});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchEnv env(argc, argv);
+
+    util::Table table(
+        "Platform ablation (SSD512 scenario)",
+        {"configuration", "vision mean (ms)", "worst path mean",
+         "worst path p99", "image drops", "total power (W)"});
+
+    // Baseline.
+    runRow(table, env, "baseline (4 cores, 11 TFLOPS)",
+           env.runConfig(perception::DetectorKind::Ssd512));
+
+    // Core-count sweep: does more CPU fix the tail?
+    for (const std::uint32_t cores : {2u, 8u, 16u}) {
+        prof::RunConfig cfg =
+            env.runConfig(perception::DetectorKind::Ssd512);
+        cfg.machine.cpu.cores = cores;
+        runRow(table, env, std::to_string(cores) + " cores", cfg);
+    }
+
+    // Memory-interference strength (0 = perfect isolation).
+    for (const double penalty : {0.0, 36.0}) {
+        prof::RunConfig cfg =
+            env.runConfig(perception::DetectorKind::Ssd512);
+        cfg.machine.cpu.memPenaltyCyclesPerByte = penalty;
+        runRow(table, env,
+               "mem interference x" +
+                   util::Table::num(penalty / 18.0, 1),
+               cfg);
+    }
+
+    // GPU throughput sweep: does a bigger GPU fix SSD512?
+    for (const double tflops : {5.5, 22.0}) {
+        prof::RunConfig cfg =
+            env.runConfig(perception::DetectorKind::Ssd512);
+        cfg.machine.gpu.tflops = tflops;
+        runRow(table, env,
+               util::Table::num(tflops, 1) + " TFLOPS GPU", cfg);
+    }
+
+    // Faster CPU clock.
+    {
+        prof::RunConfig cfg =
+            env.runConfig(perception::DetectorKind::Ssd512);
+        cfg.machine.cpu.freqGhz = 5.5;
+        runRow(table, env, "5.5 GHz CPU", cfg);
+    }
+
+    env.print(table);
+
+    std::cout
+        << "Expected shape: the end-to-end tail is dominated by the"
+           " pipeline's structure (sensor rates, serial node chain),"
+           " so neither doubling cores nor doubling the GPU removes"
+           " the >100 ms violations — supporting the paper's claim"
+           " that a more efficient implementation, not more"
+           " hardware, is needed (Finding 3).\n";
+    return 0;
+}

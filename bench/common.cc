@@ -1,0 +1,70 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "util/logging.hh"
+
+namespace av::bench {
+
+namespace {
+
+std::vector<std::string>
+withCommon(std::vector<std::string> extra)
+{
+    extra.push_back("duration");
+    extra.push_back("seed");
+    extra.push_back("csv");
+    return extra;
+}
+
+} // namespace
+
+BenchEnv::BenchEnv(int argc, char **argv,
+                   const std::vector<std::string> &extra_flags)
+    : flags_(argc, argv, withCommon(extra_flags))
+{
+    csv_ = flags_.getBool("csv");
+    const long seconds = flags_.getInt("duration", 60);
+    AV_ASSERT(seconds > 0, "duration must be positive");
+    duration_ = static_cast<sim::Tick>(seconds) * sim::oneSec;
+
+    world::ScenarioConfig scenario;
+    scenario.seed =
+        static_cast<std::uint64_t>(flags_.getInt("seed", 2020));
+    util::inform("recording ", seconds,
+                 " s drive (seed ", scenario.seed, ") ...");
+    drive_ = prof::makeDrive(scenario, duration_);
+    util::inform("bag: ", drive_->bag.totalMessages(),
+                 " messages, map: ", drive_->map.size(), " points");
+}
+
+prof::RunConfig
+BenchEnv::runConfig(perception::DetectorKind kind) const
+{
+    prof::RunConfig cfg;
+    cfg.stack.detector = kind;
+    return cfg;
+}
+
+std::unique_ptr<prof::CharacterizationRun>
+BenchEnv::run(perception::DetectorKind kind) const
+{
+    util::inform("replaying with ", perception::detectorName(kind),
+                 " ...");
+    auto run = std::make_unique<prof::CharacterizationRun>(
+        drive_, runConfig(kind));
+    run->execute();
+    return run;
+}
+
+void
+BenchEnv::print(const util::Table &table) const
+{
+    if (csv_)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace av::bench

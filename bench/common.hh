@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure benches: common flags,
+ * drive construction, per-detector runs.
+ *
+ * Every bench accepts:
+ *   --duration <s>   drive length (default 60; the paper used 480)
+ *   --seed <n>       scenario seed
+ *   --csv            machine-readable output
+ */
+
+#ifndef AVSCOPE_BENCH_COMMON_HH
+#define AVSCOPE_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "util/flags.hh"
+#include "util/table.hh"
+
+namespace av::bench {
+
+/** The three detector scenarios of the paper. */
+inline const std::vector<perception::DetectorKind> detectors = {
+    perception::DetectorKind::Ssd512,
+    perception::DetectorKind::Ssd300,
+    perception::DetectorKind::Yolov3,
+};
+
+/** Nodes in the paper's Fig. 5 order. */
+inline const std::vector<std::string> fig5Nodes = {
+    "voxel_grid_filter",
+    "ndt_matching",
+    "ray_ground_filter",
+    "euclidean_cluster",
+    "vision_detection",
+    "range_vision_fusion",
+    "imm_ukf_pda_tracker",
+    "naive_motion_prediction",
+    "costmap_generator_obj",
+    "costmap_generator_points",
+};
+
+/** The six nodes of the paper's Table VII / Fig. 7. */
+inline const std::vector<std::string> tab7Nodes = {
+    "vision_detection",
+    "euclidean_cluster",
+    "ndt_matching",
+    "imm_ukf_pda_tracker",
+    "costmap_generator",
+    "ray_ground_filter",
+};
+
+/** Parsed environment shared by all benches. */
+class BenchEnv
+{
+  public:
+    /**
+     * Parse argv and record the drive.
+     * @param extra_flags additional accepted flag names
+     */
+    BenchEnv(int argc, char **argv,
+             const std::vector<std::string> &extra_flags = {});
+
+    const util::Flags &flags() const { return flags_; }
+    bool csv() const { return csv_; }
+    sim::Tick duration() const { return duration_; }
+    std::shared_ptr<const prof::DriveData> drive() const
+    {
+        return drive_;
+    }
+
+    /** Default run configuration for one detector. */
+    prof::RunConfig runConfig(perception::DetectorKind kind) const;
+
+    /** Run one fully-instrumented replay. */
+    std::unique_ptr<prof::CharacterizationRun>
+    run(perception::DetectorKind kind) const;
+
+    /** Print a table as text or CSV per the --csv flag. */
+    void print(const util::Table &table) const;
+
+  private:
+    util::Flags flags_;
+    bool csv_ = false;
+    sim::Tick duration_ = 0;
+    std::shared_ptr<prof::DriveData> drive_;
+};
+
+} // namespace av::bench
+
+#endif // AVSCOPE_BENCH_COMMON_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the algorithm cores (host
+ * performance of the functional implementations; no simulation).
+ * Useful for keeping the library's own hot paths honest.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "perception/costmap.hh"
+#include "perception/euclidean_cluster.hh"
+#include "perception/imm_ukf_pda.hh"
+#include "perception/motion_predict.hh"
+#include "perception/ndt.hh"
+#include "perception/ray_ground_filter.hh"
+#include "pointcloud/kdtree.hh"
+#include "pointcloud/voxel_grid.hh"
+#include "util/random.hh"
+#include "world/map_builder.hh"
+#include "world/scenario.hh"
+#include "world/sensors.hh"
+
+namespace {
+
+using namespace av;
+
+pc::PointCloud
+scanAt(sim::Tick t)
+{
+    static const world::Scenario scenario;
+    static const world::LidarModel lidar;
+    return lidar.scan(scenario, t);
+}
+
+void
+BM_LidarScan(benchmark::State &state)
+{
+    const world::Scenario scenario;
+    const world::LidarModel lidar;
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lidar.scan(scenario, t));
+        t += 100 * sim::oneMs;
+    }
+}
+BENCHMARK(BM_LidarScan)->Unit(benchmark::kMillisecond);
+
+void
+BM_VoxelGridDownsample(benchmark::State &state)
+{
+    const pc::PointCloud scan = scanAt(5 * sim::oneSec);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pc::voxelGridDownsample(scan, 1.5));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(scan.size()));
+}
+BENCHMARK(BM_VoxelGridDownsample)->Unit(benchmark::kMicrosecond);
+
+void
+BM_KdTreeBuild(benchmark::State &state)
+{
+    const pc::PointCloud scan = scanAt(5 * sim::oneSec);
+    for (auto _ : state) {
+        pc::KdTree tree;
+        tree.build(scan);
+        benchmark::DoNotOptimize(tree.size());
+    }
+}
+BENCHMARK(BM_KdTreeBuild)->Unit(benchmark::kMicrosecond);
+
+void
+BM_KdTreeRadiusSearch(benchmark::State &state)
+{
+    const pc::PointCloud scan = scanAt(5 * sim::oneSec);
+    pc::KdTree tree;
+    tree.build(scan);
+    util::Rng rng(1);
+    std::vector<std::uint32_t> found;
+    for (auto _ : state) {
+        const geom::Vec3 q{rng.uniform(-30, 30),
+                           rng.uniform(-30, 30), 1.0};
+        benchmark::DoNotOptimize(
+            tree.radiusSearch(q, 0.6, found));
+    }
+}
+BENCHMARK(BM_KdTreeRadiusSearch);
+
+void
+BM_RayGroundFilter(benchmark::State &state)
+{
+    const pc::PointCloud scan = scanAt(5 * sim::oneSec);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            perception::rayGroundFilter(
+                scan, perception::RayGroundConfig()));
+}
+BENCHMARK(BM_RayGroundFilter)->Unit(benchmark::kMicrosecond);
+
+void
+BM_EuclideanCluster(benchmark::State &state)
+{
+    const pc::PointCloud scan = scanAt(5 * sim::oneSec);
+    const auto split = perception::rayGroundFilter(
+        scan, perception::RayGroundConfig());
+    const auto cropped = perception::cropForClustering(
+        split.noGround, perception::ClusterConfig());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perception::euclideanCluster(
+            cropped, perception::ClusterConfig()));
+}
+BENCHMARK(BM_EuclideanCluster)->Unit(benchmark::kMicrosecond);
+
+void
+BM_NdtAlign(benchmark::State &state)
+{
+    const world::Scenario scenario;
+    const world::LidarModel lidar;
+    world::MapBuilderConfig map_cfg;
+    map_cfg.scanInterval = 2 * sim::oneSec;
+    const world::MapBuilder builder(map_cfg);
+    const auto map =
+        builder.build(scenario, lidar, 60 * sim::oneSec);
+    perception::NdtMatcher matcher;
+    matcher.setMap(map);
+    const auto scan = pc::voxelGridDownsample(
+        scanAt(5 * sim::oneSec), 1.5);
+    const geom::Pose2 truth =
+        scenario.egoPoseAt(5 * sim::oneSec);
+    for (auto _ : state) {
+        geom::Pose2 guess = truth;
+        guess.p.x += 0.4;
+        guess.yaw += 0.02;
+        benchmark::DoNotOptimize(matcher.align(scan, guess));
+    }
+}
+BENCHMARK(BM_NdtAlign)->Unit(benchmark::kMillisecond);
+
+void
+BM_TrackerUpdate(benchmark::State &state)
+{
+    const auto n_objects = state.range(0);
+    perception::ImmUkfPdaTracker tracker;
+    util::Rng rng(2);
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        perception::ObjectList list;
+        for (long i = 0; i < n_objects; ++i) {
+            perception::DetectedObject obj;
+            obj.position = {i * 15.0 + rng.gaussian(0, 0.1),
+                            rng.gaussian(0, 0.1)};
+            list.objects.push_back(obj);
+        }
+        t += 100 * sim::oneMs;
+        benchmark::DoNotOptimize(tracker.update(list, t));
+    }
+}
+BENCHMARK(BM_TrackerUpdate)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_CostmapObjects(benchmark::State &state)
+{
+    perception::ObjectList objects;
+    util::Rng rng(3);
+    for (int i = 0; i < 12; ++i) {
+        perception::DetectedObject obj;
+        obj.position = {rng.uniform(-25, 25), rng.uniform(-25, 25)};
+        obj.length = 4.4;
+        obj.width = 1.8;
+        obj.hasVelocity = true;
+        obj.velocity = {rng.uniform(-8, 8), rng.uniform(-8, 8)};
+        obj.yaw = rng.uniform(-3, 3);
+        objects.objects.push_back(obj);
+    }
+    objects = perception::predictMotion(objects,
+                                        perception::PredictConfig());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perception::generateObjectCostmap(
+            objects, geom::Pose2{}, perception::CostmapConfig()));
+}
+BENCHMARK(BM_CostmapObjects)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates the paper's Table V: mean CPU and GPU utilization
+ * share per node, per detector, sampled at 1 Hz like atop /
+ * nvidia-smi. CPU share is the fraction of the whole processor; GPU
+ * share is device residency (active or queued), which is how
+ * per-process GPU monitoring attributes time.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common.hh"
+
+using namespace av;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchEnv env(argc, argv);
+
+    // Owner -> (cpu share, gpu share) per detector.
+    std::map<std::string, std::map<std::string, std::pair<double,
+                                                          double>>>
+        rows;
+    std::map<std::string, std::pair<double, double>> totals;
+
+    for (const auto kind : bench::detectors) {
+        const auto run = env.run(kind);
+        const std::string which = perception::detectorName(kind);
+        for (const auto &[owner, row] : run->utilization().rows()) {
+            rows[owner][which] = {row.cpuShare.mean(),
+                                  row.gpuShare.mean()};
+        }
+        totals[which] = {run->utilization().totalCpu().mean(),
+                         run->utilization().totalGpu().mean()};
+    }
+
+    util::Table table(
+        "Table V — CPU / GPU utilization share per node",
+        {"node", "CPU SSD512", "CPU SSD300", "CPU YOLO",
+         "GPU SSD512", "GPU SSD300", "GPU YOLO"});
+    const auto cell = [&](const std::string &owner,
+                          const char *which, bool gpu) {
+        const auto it = rows.find(owner);
+        if (it == rows.end())
+            return std::string("-");
+        const auto jt = it->second.find(which);
+        if (jt == it->second.end())
+            return std::string("-");
+        const double v = gpu ? jt->second.second : jt->second.first;
+        return util::Table::pct(v);
+    };
+    for (const auto &[owner, per] : rows) {
+        (void)per;
+        table.addRow({owner, cell(owner, "SSD512", false),
+                      cell(owner, "SSD300", false),
+                      cell(owner, "YOLOv3", false),
+                      cell(owner, "SSD512", true),
+                      cell(owner, "SSD300", true),
+                      cell(owner, "YOLOv3", true)});
+    }
+    table.addRow({"TOTAL (machine)",
+                  util::Table::pct(totals["SSD512"].first),
+                  util::Table::pct(totals["SSD300"].first),
+                  util::Table::pct(totals["YOLOv3"].first),
+                  util::Table::pct(totals["SSD512"].second),
+                  util::Table::pct(totals["SSD300"].second),
+                  util::Table::pct(totals["YOLOv3"].second)});
+    env.print(table);
+
+    std::cout
+        << "Paper reference (Table V / Finding 3): vision is the"
+           " top CPU consumer with SSD512 (12.95%) and uses less"
+           " than half of that with YOLO; total utilization stays"
+           " under ~40% on both devices — resource availability is"
+           " not the bottleneck.\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The paper's complete methodology (Fig. 3) as one program: record a
+ * drive once, then characterize the stack under a chosen detector —
+ * per-node latency, end-to-end paths, drops, utilization, power, and
+ * PAPI-style counters — and print a full report.
+ *
+ *   ./full_drive_characterization --detector ssd512 --duration 120
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/characterization.hh"
+#include "core/report.hh"
+#include "util/flags.hh"
+#include "util/table.hh"
+
+using namespace av;
+
+int
+main(int argc, char **argv)
+{
+    const util::Flags flags(
+        argc, argv, {"detector", "duration", "seed", "csv", "report"});
+    const std::string which = flags.getString("detector", "ssd512");
+    perception::DetectorKind kind = perception::DetectorKind::Ssd512;
+    if (which == "ssd300")
+        kind = perception::DetectorKind::Ssd300;
+    else if (which == "yolo" || which == "yolov3")
+        kind = perception::DetectorKind::Yolov3;
+    else if (which != "ssd512")
+        util::fatal("unknown detector '", which,
+                    "' (ssd512|ssd300|yolo)");
+
+    world::ScenarioConfig scenario;
+    scenario.seed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 2020));
+    const auto duration = static_cast<sim::Tick>(
+                              flags.getInt("duration", 60)) *
+                          sim::oneSec;
+
+    util::inform("recording drive + building map ...");
+    auto drive = prof::makeDrive(scenario, duration);
+
+    prof::RunConfig config;
+    config.stack.detector = kind;
+    util::inform("replaying with ", perception::detectorName(kind),
+                 " ...");
+    prof::CharacterizationRun run(drive, config);
+    run.execute();
+
+    // ------------------------------------------------ latency
+    util::Table latency("Single-node latency (ms)",
+                        {"node", "n", "min", "q1", "mean", "q3",
+                         "p99", "max"});
+    for (const auto &node : run.nodeLatencies()) {
+        const auto &s = node.summary;
+        latency.addRow({node.name, std::to_string(s.count),
+                        util::Table::num(s.min),
+                        util::Table::num(s.q1),
+                        util::Table::num(s.mean),
+                        util::Table::num(s.q3),
+                        util::Table::num(s.p99),
+                        util::Table::num(s.max)});
+    }
+    latency.print(std::cout);
+
+    // ------------------------------------------------ paths
+    util::Table paths("\nEnd-to-end computation paths (ms)",
+                      {"path", "mean", "p99", "max"});
+    for (const auto path :
+         {prof::Path::Localization, prof::Path::CostmapPoints,
+          prof::Path::CostmapVisionObj,
+          prof::Path::CostmapClusterObj}) {
+        const auto s = run.paths().series(path).summarize();
+        paths.addRow({prof::pathName(path),
+                      util::Table::num(s.mean),
+                      util::Table::num(s.p99),
+                      util::Table::num(s.max)});
+    }
+    paths.print(std::cout);
+
+    // ------------------------------------------------ drops
+    util::Table drops("\nDropped messages", {"topic", "node",
+                                             "drop rate"});
+    for (const auto &row : run.drops()) {
+        if (row.dropped == 0)
+            continue;
+        drops.addRow({row.topic, row.node,
+                      util::Table::pct(row.dropRate())});
+    }
+    drops.print(std::cout);
+
+    // ------------------------------------------------ utilization
+    util::Table util_table("\nUtilization (1 Hz sampling)",
+                           {"owner", "CPU share", "GPU residency"});
+    for (const auto &[owner, row] : run.utilization().rows()) {
+        util_table.addRow({owner,
+                           util::Table::pct(row.cpuShare.mean()),
+                           util::Table::pct(row.gpuShare.mean())});
+    }
+    util_table.addRow(
+        {"TOTAL",
+         util::Table::pct(run.utilization().totalCpu().mean()),
+         util::Table::pct(run.utilization().totalGpu().mean())});
+    util_table.print(std::cout);
+
+    std::printf("\npower: CPU %.1f W, GPU %.1f W (energy %.0f J + "
+                "%.0f J)\n",
+                run.power().cpuWatts().mean(),
+                run.power().gpuWatts().mean(),
+                run.power().cpuEnergyJ(), run.power().gpuEnergyJ());
+
+    // ------------------------------------------------ counters
+    util::Table counters("\nMicroarchitecture counters",
+                         {"node", "IPC", "L1r miss", "L1w miss",
+                          "br miss", "mix"});
+    for (const auto &row : run.counters()) {
+        if (row.mix.total() == 0)
+            continue;
+        counters.addRow({row.node, util::Table::num(row.ipc),
+                         util::Table::pct(row.l1ReadMissRate),
+                         util::Table::pct(row.l1WriteMissRate),
+                         util::Table::pct(row.branchMissRate),
+                         row.mix.mixString()});
+    }
+    counters.print(std::cout);
+
+    // Optional: dump everything as CSV for plotting.
+    if (flags.has("report")) {
+        const std::string dir = flags.getString("report");
+        if (prof::writeRunReport(run, dir))
+            util::inform("CSV report written to ", dir);
+        else
+            util::warn("could not write report to ", dir);
+    }
+    return 0;
+}

@@ -1,0 +1,128 @@
+#include "core/characterization.hh"
+
+#include "util/logging.hh"
+
+namespace av::prof {
+
+std::shared_ptr<DriveData>
+makeDrive(const world::ScenarioConfig &scenario_cfg,
+          sim::Tick duration, const world::RecorderConfig &recorder)
+{
+    auto drive = std::make_shared<DriveData>();
+    drive->scenarioConfig = scenario_cfg;
+    drive->duration = duration;
+
+    const world::Scenario scenario(scenario_cfg);
+    const world::LidarModel lidar;
+    const world::CameraModel camera;
+    const world::GnssModel gnss;
+    const world::ImuModel imu;
+
+    // Mapping pass first (ndt_mapping). Standard mapping practice:
+    // the pass is driven on a quiet street — moving vehicles and
+    // pedestrians would be baked into the map as ghost geometry
+    // along the lane and capture the scan matcher. Parked cars and
+    // buildings (identical streams, same seed) stay as landmarks.
+    world::ScenarioConfig mapping_cfg = scenario_cfg;
+    mapping_cfg.nVehicles = 0;
+    mapping_cfg.nPedestrians = 0;
+    const world::Scenario mapping_scenario(mapping_cfg);
+    const world::MapBuilder map_builder;
+    const double loop_s =
+        scenario.routeLength() / scenario_cfg.egoSpeed;
+    const sim::Tick map_duration = sim::secondsToTicks(loop_s);
+    drive->map =
+        map_builder.build(mapping_scenario, lidar, map_duration);
+
+    world::recordDrive(scenario, lidar, camera, gnss, imu, duration,
+                       recorder, drive->bag);
+    drive->initialPose = scenario.egoPoseAt(0);
+    return drive;
+}
+
+CharacterizationRun::CharacterizationRun(
+    std::shared_ptr<const DriveData> drive, const RunConfig &config)
+    : drive_(std::move(drive)), config_(config)
+{
+    AV_ASSERT(drive_ != nullptr, "null drive data");
+    eq_ = std::make_unique<sim::EventQueue>();
+    machine_ = std::make_unique<hw::Machine>(*eq_, config_.machine);
+    graph_ = std::make_unique<ros::RosGraph>(*machine_, config_.transport);
+    stack_ = std::make_unique<stack::AutowareStack>(
+        *graph_, drive_->map, config_.stack, config_.calibration,
+        drive_->initialPose);
+    tracer_ = std::make_unique<PathTracer>(*graph_);
+    util_ = std::make_unique<UtilizationMonitor>(
+        *eq_, *machine_, config_.samplePeriod);
+    power_ = std::make_unique<PowerMonitor>(*eq_, *machine_,
+                                            config_.samplePeriod);
+}
+
+CharacterizationRun::~CharacterizationRun() = default;
+
+void
+CharacterizationRun::execute()
+{
+    AV_ASSERT(!executed_, "CharacterizationRun executed twice");
+    executed_ = true;
+    util_->start();
+    power_->start();
+    drive_->bag.replay(*graph_);
+    eq_->runUntil(drive_->duration + config_.drainGrace);
+    util_->stop();
+    power_->stop();
+    // Drain whatever is still in flight (bounded).
+    eq_->runUntil(drive_->duration + 2 * config_.drainGrace);
+}
+
+std::vector<DropRow>
+CharacterizationRun::drops() const
+{
+    return collectDrops(*graph_);
+}
+
+std::vector<CounterRow>
+CharacterizationRun::counters() const
+{
+    return collectCounters(stack_->nodes());
+}
+
+std::vector<NodeLatency>
+CharacterizationRun::nodeLatencies() const
+{
+    std::vector<NodeLatency> out;
+    for (const perception::PerceptionNode *node : stack_->nodes()) {
+        if (node->name() == "costmap_generator") {
+            const auto *costmap =
+                static_cast<const perception::CostmapGeneratorNode
+                                *>(node);
+            out.push_back(
+                {"costmap_generator_obj",
+                 costmap->latencySeries().summarize()});
+            out.push_back(
+                {"costmap_generator_points",
+                 costmap->pointsLatencySeries().summarize()});
+            continue;
+        }
+        out.push_back(
+            {node->name(), node->latencySeries().summarize()});
+    }
+    return out;
+}
+
+const util::SampleSeries &
+CharacterizationRun::nodeLatencySeries(const std::string &name) const
+{
+    if (name == "costmap_generator_obj") {
+        return stack_->costmap()->latencySeries();
+    }
+    if (name == "costmap_generator_points") {
+        return stack_->costmap()->pointsLatencySeries();
+    }
+    const perception::PerceptionNode *node = stack_->find(name);
+    if (!node)
+        util::panic("unknown node: ", name);
+    return node->latencySeries();
+}
+
+} // namespace av::prof

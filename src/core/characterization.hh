@@ -1,0 +1,119 @@
+/**
+ * @file
+ * One-call orchestration of the paper's methodology (Fig. 3):
+ * record a drive once (sensor bag + point-cloud map), then replay
+ * it into an instrumented stack configuration and harvest every
+ * measurement the paper reports.
+ */
+
+#ifndef AVSCOPE_CORE_CHARACTERIZATION_HH
+#define AVSCOPE_CORE_CHARACTERIZATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/probes.hh"
+#include "ros/bag.hh"
+#include "stack/autoware_stack.hh"
+#include "world/map_builder.hh"
+#include "world/recorder.hh"
+
+namespace av::prof {
+
+/**
+ * The reproducible inputs: one recorded drive and its map. Shared
+ * by every configuration under comparison — the ROSBAG-replay
+ * methodology.
+ */
+struct DriveData
+{
+    world::ScenarioConfig scenarioConfig;
+    ros::Bag bag;
+    pc::PointCloud map;
+    sim::Tick duration = 0;
+    /** Operator-provided initial pose (Autoware's rviz "2D Pose
+     *  Estimate"): the ego's ground-truth pose at t = 0. */
+    geom::Pose2 initialPose;
+};
+
+/**
+ * Record a drive and build its map.
+ * @param scenario_cfg world knobs
+ * @param duration     drive length
+ */
+std::shared_ptr<DriveData>
+makeDrive(const world::ScenarioConfig &scenario_cfg,
+          sim::Tick duration,
+          const world::RecorderConfig &recorder =
+              world::RecorderConfig());
+
+/** One characterization run's configuration. */
+struct RunConfig
+{
+    stack::StackOptions stack;
+    hw::MachineConfig machine = stack::defaultMachine();
+    ros::TransportConfig transport; ///< middleware transport cost
+    stack::NodeCalibration calibration = stack::defaultCalibration();
+    sim::Tick samplePeriod = sim::oneSec; ///< probe grain
+    sim::Tick drainGrace = 3 * sim::oneSec; ///< run-out after bag end
+};
+
+/** Per-node latency result. */
+struct NodeLatency
+{
+    std::string name;
+    util::DistributionSummary summary;
+};
+
+/**
+ * A full instrumented replay.
+ */
+class CharacterizationRun
+{
+  public:
+    CharacterizationRun(std::shared_ptr<const DriveData> drive,
+                        const RunConfig &config = RunConfig());
+    ~CharacterizationRun();
+
+    /** Replay the bag to completion. */
+    void execute();
+
+    const stack::AutowareStack &stack() const { return *stack_; }
+    const PathTracer &paths() const { return *tracer_; }
+    const UtilizationMonitor &utilization() const { return *util_; }
+    const PowerMonitor &power() const { return *power_; }
+    hw::Machine &machine() { return *machine_; }
+    ros::RosGraph &graph() { return *graph_; }
+    const RunConfig &config() const { return config_; }
+
+    std::vector<DropRow> drops() const;
+    std::vector<CounterRow> counters() const;
+
+    /**
+     * Per-node latency distributions; the costmap node reports its
+     * two callbacks separately as costmap_generator_obj /
+     * costmap_generator_points, matching the paper's Fig. 5 rows.
+     */
+    std::vector<NodeLatency> nodeLatencies() const;
+
+    /** Latency series of one node (panics when unknown). */
+    const util::SampleSeries &
+    nodeLatencySeries(const std::string &name) const;
+
+  private:
+    std::shared_ptr<const DriveData> drive_;
+    RunConfig config_;
+    std::unique_ptr<sim::EventQueue> eq_;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<ros::RosGraph> graph_;
+    std::unique_ptr<stack::AutowareStack> stack_;
+    std::unique_ptr<PathTracer> tracer_;
+    std::unique_ptr<UtilizationMonitor> util_;
+    std::unique_ptr<PowerMonitor> power_;
+    bool executed_ = false;
+};
+
+} // namespace av::prof
+
+#endif // AVSCOPE_CORE_CHARACTERIZATION_HH

@@ -1,0 +1,214 @@
+#include "core/probes.hh"
+
+#include "perception/objects.hh"
+
+namespace av::prof {
+
+UtilizationMonitor::UtilizationMonitor(sim::EventQueue &eq,
+                                       hw::Machine &machine,
+                                       sim::Tick period)
+    : machine_(machine), period_(period),
+      task_(eq, period, [this](std::uint64_t) { sample(); })
+{
+}
+
+void
+UtilizationMonitor::sample()
+{
+    const double window = sim::ticksToSeconds(period_);
+    const auto &cpu = machine_.cpu().accounting();
+    const auto &gpu = machine_.gpu().accounting();
+    const double cores =
+        static_cast<double>(machine_.cpu().config().cores);
+
+    const double busy_delta =
+        cpu.busyCoreSeconds - lastBusyCoreS_;
+    lastBusyCoreS_ = cpu.busyCoreSeconds;
+    totalCpu_.add(busy_delta / (window * cores));
+
+    const double kernel_delta =
+        gpu.kernelActiveSeconds - lastKernelActiveS_;
+    lastKernelActiveS_ = gpu.kernelActiveSeconds;
+    totalGpu_.add(kernel_delta / window);
+
+    // Per-owner CPU share of the whole processor.
+    for (const auto &[owner, seconds] : cpu.busySecondsByOwner) {
+        const double delta = seconds - lastOwnerCpuS_[owner];
+        lastOwnerCpuS_[owner] = seconds;
+        rows_[owner].cpuShare.add(delta / (window * cores));
+    }
+    // Per-owner GPU residency (nvidia-smi pmon style).
+    for (const auto &[owner, seconds] :
+         gpu.residentSecondsByOwner) {
+        const double delta = seconds - lastOwnerGpuS_[owner];
+        lastOwnerGpuS_[owner] = seconds;
+        rows_[owner].gpuShare.add(delta / window);
+    }
+}
+
+PowerMonitor::PowerMonitor(sim::EventQueue &eq, hw::Machine &machine,
+                           sim::Tick period)
+    : machine_(machine), period_(period),
+      task_(eq, period, [this](std::uint64_t) { sample(); })
+{
+}
+
+void
+PowerMonitor::sample()
+{
+    const double window = sim::ticksToSeconds(period_);
+    const auto &cpu = machine_.cpu().accounting();
+    const auto &gpu = machine_.gpu().accounting();
+
+    const double busy_delta =
+        cpu.busyCoreSeconds - lastBusyCoreS_;
+    lastBusyCoreS_ = cpu.busyCoreSeconds;
+    const double dram_delta = cpu.dramBytes - lastDramBytes_;
+    lastDramBytes_ = cpu.dramBytes;
+    const double weighted_delta =
+        gpu.weightedActiveSeconds - lastWeightedActiveS_;
+    lastWeightedActiveS_ = gpu.weightedActiveSeconds;
+    const double copy_delta =
+        gpu.copyActiveSeconds - lastCopyActiveS_;
+    lastCopyActiveS_ = gpu.copyActiveSeconds;
+
+    const double cpu_watts = machine_.power().cpuPower(
+        busy_delta / window, dram_delta / window * 1e-9);
+    const double gpu_watts = machine_.power().gpuPower(
+        weighted_delta / window, copy_delta / window);
+    cpuW_.add(cpu_watts);
+    gpuW_.add(gpu_watts);
+    cpuJ_ += cpu_watts * window;
+    gpuJ_ += gpu_watts * window;
+}
+
+const char *
+pathName(Path path)
+{
+    switch (path) {
+      case Path::Localization: return "localization";
+      case Path::CostmapPoints: return "costmap_points";
+      case Path::CostmapVisionObj: return "costmap_vision_obj";
+      case Path::CostmapClusterObj: return "costmap_cluster_obj";
+    }
+    return "?";
+}
+
+PathTracer::PathTracer(ros::RosGraph &graph)
+{
+    series_.emplace(Path::Localization, util::SampleSeries(1u << 15));
+    series_.emplace(Path::CostmapPoints,
+                    util::SampleSeries(1u << 15));
+    series_.emplace(Path::CostmapVisionObj,
+                    util::SampleSeries(1u << 15));
+    series_.emplace(Path::CostmapClusterObj,
+                    util::SampleSeries(1u << 15));
+
+    auto &eq = graph.eventQueue();
+
+    graph.topic<perception::PoseEstimate>(perception::topics::ndtPose)
+        .addTap([this, &eq](
+                    const ros::Stamped<perception::PoseEstimate>
+                        &msg) {
+            if (msg.header.origins.lidar)
+                record(Path::Localization, msg.header.origins.lidar,
+                       eq.now());
+        });
+
+    graph.topic<perception::Costmap>(perception::topics::costmap)
+        .addTap([this,
+                 &eq](const ros::Stamped<perception::Costmap> &msg) {
+            const ros::Origins &o = msg.header.origins;
+            if (o.camera) {
+                // Object layer (fused lineage): both Table IV
+                // object paths end here.
+                record(Path::CostmapVisionObj, o.camera, eq.now());
+                if (o.lidar)
+                    record(Path::CostmapClusterObj, o.lidar,
+                           eq.now());
+            } else if (o.lidar) {
+                // Points layer: LiDAR-only lineage.
+                record(Path::CostmapPoints, o.lidar, eq.now());
+            }
+        });
+}
+
+void
+PathTracer::record(Path path, sim::Tick origin, sim::Tick now)
+{
+    if (now >= origin)
+        series_.at(path).add(sim::ticksToMs(now - origin));
+}
+
+const util::SampleSeries &
+PathTracer::series(Path path) const
+{
+    return series_.at(path);
+}
+
+double
+PathTracer::worstCaseP99() const
+{
+    double worst = 0.0;
+    for (const auto &[path, series] : series_)
+        worst = std::max(worst, series.quantile(0.99));
+    return worst;
+}
+
+double
+PathTracer::worstCaseMean() const
+{
+    double worst = 0.0;
+    for (const auto &[path, series] : series_)
+        worst = std::max(worst, series.running().mean());
+    return worst;
+}
+
+double
+PathTracer::worstCaseMax() const
+{
+    double worst = 0.0;
+    for (const auto &[path, series] : series_) {
+        if (series.count() > 0)
+            worst = std::max(worst, series.running().max());
+    }
+    return worst;
+}
+
+std::vector<DropRow>
+collectDrops(const ros::RosGraph &graph)
+{
+    std::vector<DropRow> out;
+    for (const ros::Node *node : graph.nodes()) {
+        for (const auto &sub : node->subscriptions()) {
+            DropRow row;
+            row.topic = sub->topicName();
+            row.node = node->name();
+            row.delivered = sub->stats().delivered;
+            row.dropped = sub->stats().dropped;
+            out.push_back(std::move(row));
+        }
+    }
+    return out;
+}
+
+std::vector<CounterRow>
+collectCounters(
+    const std::vector<perception::PerceptionNode *> &nodes)
+{
+    std::vector<CounterRow> out;
+    for (const perception::PerceptionNode *node : nodes) {
+        CounterRow row;
+        row.node = node->name();
+        row.ipc = node->arch().lifetimeIpc();
+        row.l1ReadMissRate = node->arch().cacheStats().readMissRate();
+        row.l1WriteMissRate =
+            node->arch().cacheStats().writeMissRate();
+        row.branchMissRate = node->arch().branchStats().missRate();
+        row.mix = node->arch().totalOps();
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+} // namespace av::prof

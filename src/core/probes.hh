@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Profiling probes — the measurement instruments of the paper's
+ * methodology (§III-B):
+ *
+ *  - UtilizationMonitor: atop-equivalent, 1 Hz per-node CPU share +
+ *    nvidia-smi-equivalent GPU residency (Table V);
+ *  - PowerMonitor: 1 Hz CPU/GPU watts (Table VI);
+ *  - PathTracer: end-to-end computation-path latency via the
+ *    sensor-origin timestamps carried in message headers (Fig. 6,
+ *    Table IV);
+ *  - DropMonitor: per-topic dropped-message accounting (Table III);
+ *  - CounterProbe: PAPI-equivalent µarch counters per node
+ *    (Table VII, Fig. 7).
+ */
+
+#ifndef AVSCOPE_CORE_PROBES_HH
+#define AVSCOPE_CORE_PROBES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perception/nodes.hh"
+#include "ros/ros.hh"
+#include "sim/periodic.hh"
+#include "util/stats.hh"
+
+namespace av::prof {
+
+/** One owner's utilization summary. */
+struct UtilizationRow
+{
+    util::RunningStats cpuShare; ///< fraction of all cores, per 1 s
+    util::RunningStats gpuShare; ///< residency fraction, per 1 s
+};
+
+/**
+ * Samples machine accounting at 1 Hz (the finest grain atop offers,
+ * per the paper).
+ */
+class UtilizationMonitor
+{
+  public:
+    UtilizationMonitor(sim::EventQueue &eq, hw::Machine &machine,
+                       sim::Tick period = sim::oneSec);
+
+    /** Arm the 1 Hz sampler (first sample after one full window). */
+    void start() { task_.start(period_); }
+    void stop() { task_.stop(); }
+
+    const std::map<std::string, UtilizationRow> &rows() const
+    {
+        return rows_;
+    }
+
+    /** Whole-machine utilization over the run. */
+    const util::RunningStats &totalCpu() const { return totalCpu_; }
+    const util::RunningStats &totalGpu() const { return totalGpu_; }
+
+  private:
+    void sample();
+
+    hw::Machine &machine_;
+    sim::Tick period_;
+    sim::PeriodicTask task_;
+    std::map<std::string, UtilizationRow> rows_;
+    util::RunningStats totalCpu_;
+    util::RunningStats totalGpu_;
+
+    double lastBusyCoreS_ = 0.0;
+    double lastKernelActiveS_ = 0.0;
+    std::map<std::string, double> lastOwnerCpuS_;
+    std::map<std::string, double> lastOwnerGpuS_;
+};
+
+/**
+ * Samples power at 1 Hz using the machine's power model over the
+ * last window's utilization integrals.
+ */
+class PowerMonitor
+{
+  public:
+    PowerMonitor(sim::EventQueue &eq, hw::Machine &machine,
+                 sim::Tick period = sim::oneSec);
+
+    /** Arm the 1 Hz sampler (first sample after one full window). */
+    void start() { task_.start(period_); }
+    void stop() { task_.stop(); }
+
+    const util::RunningStats &cpuWatts() const { return cpuW_; }
+    const util::RunningStats &gpuWatts() const { return gpuW_; }
+
+    /** Integrated energy over the sampled windows (J). */
+    double cpuEnergyJ() const { return cpuJ_; }
+    double gpuEnergyJ() const { return gpuJ_; }
+
+  private:
+    void sample();
+
+    hw::Machine &machine_;
+    sim::Tick period_;
+    sim::PeriodicTask task_;
+    util::RunningStats cpuW_;
+    util::RunningStats gpuW_;
+    double cpuJ_ = 0.0, gpuJ_ = 0.0;
+
+    double lastBusyCoreS_ = 0.0;
+    double lastDramBytes_ = 0.0;
+    double lastWeightedActiveS_ = 0.0;
+    double lastCopyActiveS_ = 0.0;
+};
+
+/** The paper's four computation paths (Table IV). */
+enum class Path {
+    Localization,
+    CostmapPoints,
+    CostmapVisionObj,
+    CostmapClusterObj,
+};
+
+const char *pathName(Path path);
+
+/**
+ * Records end-to-end latency per computation path by tapping the
+ * terminal topics and reading the origin stamps.
+ */
+class PathTracer
+{
+  public:
+    explicit PathTracer(ros::RosGraph &graph);
+
+    const util::SampleSeries &series(Path path) const;
+
+    /** Worst-path p99 — the paper's end-to-end latency metric. */
+    double worstCaseP99() const;
+
+    /** Worst-path mean. */
+    double worstCaseMean() const;
+
+    /** Worst observed end-to-end latency across all paths. */
+    double worstCaseMax() const;
+
+  private:
+    std::map<Path, util::SampleSeries> series_;
+
+    void record(Path path, sim::Tick origin, sim::Tick now);
+};
+
+/** One topic/subscriber drop row (Table III). */
+struct DropRow
+{
+    std::string topic;
+    std::string node;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    double dropRate() const
+    {
+        return delivered ? double(dropped) / double(delivered) : 0.0;
+    }
+};
+
+/** Harvest drop statistics from the whole graph. */
+std::vector<DropRow> collectDrops(const ros::RosGraph &graph);
+
+/** One node's µarch counters (Table VII row + Fig. 7 column). */
+struct CounterRow
+{
+    std::string node;
+    double ipc = 0.0;
+    double l1ReadMissRate = 0.0;
+    double l1WriteMissRate = 0.0;
+    double branchMissRate = 0.0;
+    uarch::OpCounts mix;
+};
+
+/** Harvest µarch counters from the stack's nodes. */
+std::vector<CounterRow>
+collectCounters(const std::vector<perception::PerceptionNode *> &nodes);
+
+} // namespace av::prof
+
+#endif // AVSCOPE_CORE_PROBES_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Conversion from network specs to GPU work, plus the instrumented
+ * host-side post-processing (box decode + per-class sort + NMS) that
+ * dominates SSD's CPU time and branch mispredictions (paper §IV-C:
+ * 71% of SSD512 CPU time is the output-layer sort, 9.78% branch
+ * misprediction).
+ */
+
+#ifndef AVSCOPE_DNN_COST_HH
+#define AVSCOPE_DNN_COST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "dnn/network.hh"
+#include "uarch/opcounts.hh"
+#include "uarch/profiler.hh"
+#include "util/random.hh"
+
+namespace av::dnn {
+
+/** Per-framework GPU execution characteristics. */
+struct GpuCostParams
+{
+    /**
+     * Achieved fraction of the device's peak FLOPS. Calibrated per
+     * framework: cuDNN-based SSD sustains ~0.4-0.5 of peak, darknet
+     * YOLO ~0.2 (documented in EXPERIMENTS.md).
+     */
+    double efficiency = 0.45;
+    /** Occupancy/intensity weight for the GPU power model. */
+    double powerWeight = 1.0;
+};
+
+/**
+ * One kernel per conv/pool/fc layer, with efficiency folded into the
+ * FLOP count so hw::GpuModel's roofline yields the framework's real
+ * sustained throughput.
+ */
+std::vector<hw::GpuKernel> networkKernels(const NetworkSpec &net,
+                                          const GpuCostParams &params);
+
+/** Host-to-device bytes per inference (input tensor). */
+double networkH2dBytes(const NetworkSpec &net);
+
+/** Device-to-host bytes per inference (raw candidate tensor). */
+double networkD2hBytes(const NetworkSpec &net);
+
+/**
+ * Simulate the host-side output-layer work for one frame:
+ * confidence decode over all candidates and a per-class
+ * sort-by-score. A sampled real quicksort runs on synthetic scores
+ * so the branch predictor model sees genuine data-dependent compare
+ * outcomes; total dynamic instructions are accounted analytically.
+ *
+ * @param net     the network (candidate/class counts)
+ * @param rng     per-frame score generator (deterministic)
+ * @param prof    instrumentation sink
+ * @return dynamic instruction estimate for this frame's postprocess
+ */
+uarch::OpCounts postprocessFrame(const NetworkSpec &net,
+                                 util::Rng &rng,
+                                 uarch::KernelProfiler prof);
+
+/**
+ * Host-side pre-processing cost (image resize + normalize from the
+ * camera resolution to the network input): returned as op counts,
+ * with sampled streaming loads fed to @p prof.
+ *
+ * @param cam_w, cam_h camera resolution
+ */
+uarch::OpCounts preprocessFrame(const NetworkSpec &net,
+                                std::uint32_t cam_w,
+                                std::uint32_t cam_h,
+                                uarch::KernelProfiler prof);
+
+} // namespace av::dnn
+
+#endif // AVSCOPE_DNN_COST_HH

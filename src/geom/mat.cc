@@ -1,0 +1,114 @@
+#include "geom/mat.hh"
+
+#include <algorithm>
+
+namespace av::geom {
+
+double
+det3(const Mat3 &m)
+{
+    return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+           m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+           m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+Mat3
+inverse3(const Mat3 &m, bool *ok)
+{
+    const double d = det3(m);
+    if (std::fabs(d) < 1e-12) {
+        if (ok)
+            *ok = false;
+        return Mat3::identity();
+    }
+    if (ok)
+        *ok = true;
+    Mat3 inv;
+    inv(0, 0) = (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) / d;
+    inv(0, 1) = (m(0, 2) * m(2, 1) - m(0, 1) * m(2, 2)) / d;
+    inv(0, 2) = (m(0, 1) * m(1, 2) - m(0, 2) * m(1, 1)) / d;
+    inv(1, 0) = (m(1, 2) * m(2, 0) - m(1, 0) * m(2, 2)) / d;
+    inv(1, 1) = (m(0, 0) * m(2, 2) - m(0, 2) * m(2, 0)) / d;
+    inv(1, 2) = (m(0, 2) * m(1, 0) - m(0, 0) * m(1, 2)) / d;
+    inv(2, 0) = (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0)) / d;
+    inv(2, 1) = (m(0, 1) * m(2, 0) - m(0, 0) * m(2, 1)) / d;
+    inv(2, 2) = (m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0)) / d;
+    return inv;
+}
+
+namespace {
+
+/**
+ * Eigen-decomposition of a symmetric 3x3 matrix via cyclic Jacobi
+ * rotations. Small, robust, and plenty fast for per-voxel use.
+ */
+void
+jacobiEigen3(const Mat3 &a, Mat3 &vectors, Vec3 &values)
+{
+    Mat3 m = a;
+    Mat3 v = Mat3::identity();
+    for (int sweep = 0; sweep < 32; ++sweep) {
+        double off = std::fabs(m(0, 1)) + std::fabs(m(0, 2)) +
+                     std::fabs(m(1, 2));
+        if (off < 1e-14)
+            break;
+        for (int p = 0; p < 2; ++p) {
+            for (int q = p + 1; q < 3; ++q) {
+                if (std::fabs(m(p, q)) < 1e-16)
+                    continue;
+                const double theta =
+                    (m(q, q) - m(p, p)) / (2.0 * m(p, q));
+                const double t =
+                    (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (int k = 0; k < 3; ++k) {
+                    const double mkp = m(k, p), mkq = m(k, q);
+                    m(k, p) = c * mkp - s * mkq;
+                    m(k, q) = s * mkp + c * mkq;
+                }
+                for (int k = 0; k < 3; ++k) {
+                    const double mpk = m(p, k), mqk = m(q, k);
+                    m(p, k) = c * mpk - s * mqk;
+                    m(q, k) = s * mpk + c * mqk;
+                    const double vkp = v(k, p), vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    vectors = v;
+    values = {m(0, 0), m(1, 1), m(2, 2)};
+}
+
+} // namespace
+
+Mat3
+regularizeCovariance(const Mat3 &cov, double min_eig_ratio)
+{
+    Mat3 vectors;
+    Vec3 values;
+    jacobiEigen3(cov, vectors, values);
+    const double max_eig =
+        std::max({values.x, values.y, values.z, 1e-9});
+    const double floor_eig = max_eig * min_eig_ratio;
+    Vec3 clamped = {std::max(values.x, floor_eig),
+                    std::max(values.y, floor_eig),
+                    std::max(values.z, floor_eig)};
+    // Reassemble V * diag(clamped) * V^T.
+    Mat3 out;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; ++k)
+                acc += vectors(i, k) * clamped[k] * vectors(j, k);
+            out(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace av::geom

@@ -1,0 +1,202 @@
+#include "hw/cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace av::hw {
+
+CpuModel::CpuModel(sim::EventQueue &eq, const CpuConfig &config)
+    : eq_(eq), config_(config)
+{
+    AV_ASSERT(config_.cores > 0, "CPU needs at least one core");
+    AV_ASSERT(config_.freqGhz > 0.0, "CPU frequency must be positive");
+    AV_ASSERT(config_.quantum > 0, "quantum must be positive");
+    coreTask_.assign(config_.cores, nullptr);
+}
+
+CpuModel::~CpuModel() = default;
+
+std::uint64_t
+CpuModel::submit(CpuTask task)
+{
+    AV_ASSERT(task.onComplete, "CPU task without completion callback");
+    auto ts = std::make_unique<TaskState>();
+    ts->id = nextId_++;
+    ts->remainingCycles = std::max(task.cycles, 1.0);
+    ts->task = std::move(task);
+    TaskState *raw = ts.get();
+    tasks_.emplace(raw->id, std::move(ts));
+    ready_.push_back(raw);
+    integrateProgress();
+    dispatch();
+    rearm();
+    return raw->id;
+}
+
+std::uint32_t
+CpuModel::running() const
+{
+    std::uint32_t n = 0;
+    for (const TaskState *ts : coreTask_)
+        if (ts)
+            ++n;
+    return n;
+}
+
+double
+CpuModel::memDemandRatio() const
+{
+    const double bw_bytes_per_ns = config_.memBandwidthGBs; // GB/s==B/ns
+    double demand = 0.0;
+    for (const TaskState *ts : coreTask_) {
+        if (ts)
+            demand += ts->task.memBytesPerCycle * config_.freqGhz;
+    }
+    return bw_bytes_per_ns > 0.0 ? demand / bw_bytes_per_ns : 0.0;
+}
+
+double
+CpuModel::inflation(double u) const
+{
+    return 1.0 / (1.0 - std::min(u, 0.9));
+}
+
+void
+CpuModel::integrateProgress()
+{
+    const sim::Tick now = eq_.now();
+    for (TaskState *ts : coreTask_) {
+        if (!ts)
+            continue;
+        if (now > ts->lastUpdate && ts->rate > 0.0) {
+            const double dt =
+                static_cast<double>(now - ts->lastUpdate);
+            const double done =
+                std::min(ts->remainingCycles, dt * ts->rate);
+            ts->remainingCycles -= done;
+            const double seconds = dt * 1e-9;
+            acct_.busyCoreSeconds += seconds;
+            acct_.busySecondsByOwner[ts->task.owner] += seconds;
+            acct_.dramBytes += done * ts->task.memBytesPerCycle;
+        }
+        ts->lastUpdate = now;
+    }
+}
+
+void
+CpuModel::rearm()
+{
+    const double bw = config_.memBandwidthGBs; // GB/s == bytes/ns
+    const double total_ratio = memDemandRatio();
+    const double inflate = inflation(total_ratio);
+    const sim::Tick now = eq_.now();
+
+    for (TaskState *ts : coreTask_) {
+        if (!ts)
+            continue;
+        const double own_ratio =
+            bw > 0.0
+                ? ts->task.memBytesPerCycle * config_.freqGhz / bw
+                : 0.0;
+        const double others = std::max(0.0, total_ratio - own_ratio);
+        const double slowdown = std::min(
+            config_.maxMemSlowdown,
+            1.0 + config_.memPenaltyCyclesPerByte *
+                      ts->task.effectiveL1BytesPerCycle() * others *
+                      inflate);
+        ts->rate = config_.freqGhz / slowdown; // cycles per ns
+        ts->lastUpdate = now;
+
+        eq_.deschedule(ts->completionEvent);
+        const double ns = ts->remainingCycles / ts->rate;
+        const sim::Tick when =
+            now + static_cast<sim::Tick>(std::ceil(ns));
+        const std::uint64_t id = ts->id;
+        ts->completionEvent =
+            eq_.schedule(std::max(when, now + 1),
+                         [this, id] { onCompletion(id); });
+    }
+}
+
+void
+CpuModel::dispatch()
+{
+    for (std::uint32_t core = 0;
+         core < config_.cores && !ready_.empty(); ++core) {
+        if (coreTask_[core])
+            continue;
+        TaskState *ts = ready_.front();
+        ready_.pop_front();
+        ts->core = static_cast<std::int32_t>(core);
+        ts->lastUpdate = eq_.now();
+        ts->sliceEnd = eq_.now() + config_.quantum;
+        coreTask_[core] = ts;
+        const std::uint64_t id = ts->id;
+        eq_.schedule(ts->sliceEnd, [this, id] { onQuantum(id); });
+    }
+}
+
+void
+CpuModel::onCompletion(std::uint64_t id)
+{
+    const auto it = tasks_.find(id);
+    if (it == tasks_.end())
+        return;
+    TaskState *ts = it->second.get();
+    ts->completionEvent = 0;
+    integrateProgress();
+    if (ts->remainingCycles > 0.5) {
+        // Rounding slack; re-arm everything and run on.
+        rearm();
+        return;
+    }
+    finish(ts);
+}
+
+void
+CpuModel::finish(TaskState *ts)
+{
+    AV_ASSERT(ts->core >= 0, "finishing a task that is not running");
+    coreTask_[static_cast<std::size_t>(ts->core)] = nullptr;
+    eq_.deschedule(ts->completionEvent);
+    ++acct_.tasksCompleted;
+    auto callback = std::move(ts->task.onComplete);
+    tasks_.erase(ts->id);
+    dispatch();
+    rearm();
+    // Run the user callback last: it may submit follow-up work.
+    callback();
+}
+
+void
+CpuModel::onQuantum(std::uint64_t id)
+{
+    const auto it = tasks_.find(id);
+    if (it == tasks_.end())
+        return;
+    TaskState *ts = it->second.get();
+    if (ts->core < 0 || eq_.now() < ts->sliceEnd)
+        return; // stale event from an earlier slice
+    if (ready_.empty()) {
+        // Nobody waiting; renew the slice.
+        ts->sliceEnd = eq_.now() + config_.quantum;
+        const std::uint64_t tid = ts->id;
+        eq_.schedule(ts->sliceEnd, [this, tid] { onQuantum(tid); });
+        return;
+    }
+    // Preempt: back of the queue, hand the core over.
+    integrateProgress();
+    coreTask_[static_cast<std::size_t>(ts->core)] = nullptr;
+    ts->core = -1;
+    ts->rate = 0.0;
+    eq_.deschedule(ts->completionEvent);
+    ts->completionEvent = 0;
+    ready_.push_back(ts);
+    ++acct_.preemptions;
+    dispatch();
+    rearm();
+}
+
+} // namespace av::hw

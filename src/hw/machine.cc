@@ -1,0 +1,62 @@
+#include "hw/machine.hh"
+
+#include "util/logging.hh"
+
+namespace av::hw {
+
+Machine::Machine(sim::EventQueue &eq, const MachineConfig &config)
+    : eq_(eq), config_(config),
+      cpu_(std::make_unique<CpuModel>(eq, config.cpu)),
+      gpu_(std::make_unique<GpuModel>(eq, config.gpu)),
+      power_(config.power)
+{
+}
+
+namespace {
+
+struct PhaseChain : std::enable_shared_from_this<PhaseChain>
+{
+    Machine &machine;
+    std::vector<Phase> phases;
+    std::function<void()> done;
+    std::size_t next = 0;
+
+    PhaseChain(Machine &m, std::vector<Phase> p,
+               std::function<void()> d)
+        : machine(m), phases(std::move(p)), done(std::move(d))
+    {}
+
+    void
+    step()
+    {
+        if (next >= phases.size()) {
+            if (done)
+                done();
+            return;
+        }
+        Phase &phase = phases[next++];
+        auto self = shared_from_this();
+        if (phase.kind == Phase::Kind::Cpu) {
+            phase.cpu.onComplete = [self] { self->step(); };
+            machine.cpu().submit(std::move(phase.cpu));
+        } else {
+            phase.gpu.onComplete = [self] { self->step(); };
+            machine.gpu().submit(std::move(phase.gpu));
+        }
+    }
+};
+
+} // namespace
+
+void
+runPhases(Machine &machine, std::vector<Phase> phases,
+          std::function<void()> done)
+{
+    AV_ASSERT(!phases.empty(), "empty phase chain");
+    auto chain = std::make_shared<PhaseChain>(machine,
+                                              std::move(phases),
+                                              std::move(done));
+    chain->step();
+}
+
+} // namespace av::hw

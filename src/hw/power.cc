@@ -1,0 +1,25 @@
+#include "hw/power.hh"
+
+#include <algorithm>
+
+namespace av::hw {
+
+double
+PowerModel::cpuPower(double avg_busy_cores, double dram_gbs) const
+{
+    return config_.cpuIdleW +
+           config_.cpuPerCoreW * std::max(0.0, avg_busy_cores) +
+           config_.cpuMemWPerGBs * std::max(0.0, dram_gbs);
+}
+
+double
+PowerModel::gpuPower(double weighted_active, double copy_fraction) const
+{
+    const double dynamic =
+        config_.gpuMaxDynamicW * std::clamp(weighted_active, 0.0, 1.0);
+    const double copy =
+        config_.gpuCopyW * std::clamp(copy_fraction, 0.0, 1.0);
+    return config_.gpuIdleW + dynamic + copy;
+}
+
+} // namespace av::hw

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Euclidean clustering: group obstacle points into objects —
+ * Autoware's lidar_euclidean_cluster_detect. The paper singles this
+ * node out twice: worst L1 locality of the stack (kd-tree chasing,
+ * Table VII) and a large tail latency that scales with the number of
+ * traffic participants (§IV-A).
+ */
+
+#ifndef AVSCOPE_PERCEPTION_EUCLIDEAN_CLUSTER_HH
+#define AVSCOPE_PERCEPTION_EUCLIDEAN_CLUSTER_HH
+
+#include <vector>
+
+#include "perception/objects.hh"
+#include "pointcloud/cloud.hh"
+#include "uarch/profiler.hh"
+
+namespace av::perception {
+
+/** Clustering parameters (Autoware defaults). */
+struct ClusterConfig
+{
+    double tolerance = 0.6;    ///< neighbour radius (m)
+    std::uint32_t minPoints = 8;
+    std::uint32_t maxPoints = 1200;
+    double maxObjectDim = 12.0; ///< reject building walls
+    double minHeight = 0.25;    ///< reject road debris
+    /** Pre-crop (Autoware removes points beyond the detection range
+     *  and above vehicle height before clustering). */
+    double detectRange = 24.0;
+    double clipHeight = 2.2;
+};
+
+/** Apply the pre-crop of ClusterConfig to an obstacle cloud. */
+pc::PointCloud cropForClustering(const pc::PointCloud &cloud,
+                                 const ClusterConfig &config,
+                                 uarch::KernelProfiler prof =
+                                     uarch::KernelProfiler());
+
+/** One cluster with its geometry. */
+struct Cluster
+{
+    geom::Vec3 centroid;
+    double length = 0.0, width = 0.0, height = 0.0;
+    double yaw = 0.0; ///< principal-axis orientation
+    std::uint32_t pointCount = 0;
+};
+
+/**
+ * Cluster a vehicle-frame obstacle cloud. Kd-tree radius expansion
+ * (BFS), then per-cluster centroid + oriented bounding box.
+ */
+std::vector<Cluster> euclideanCluster(const pc::PointCloud &cloud,
+                                      const ClusterConfig &config,
+                                      uarch::KernelProfiler prof =
+                                          uarch::KernelProfiler());
+
+} // namespace av::perception
+
+#endif // AVSCOPE_PERCEPTION_EUCLIDEAN_CLUSTER_HH

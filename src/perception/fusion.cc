@@ -1,0 +1,113 @@
+#include "perception/fusion.hh"
+
+#include <cmath>
+#include <vector>
+
+namespace av::perception {
+
+namespace {
+
+enum Site : std::uint64_t {
+    siteMatch = 0x75001,
+};
+
+} // namespace
+
+ObjectList
+fuseObjects(const ObjectList &lidar_objects,
+            const ObjectList &vision_objects,
+            const geom::Pose2 &ego, const FusionConfig &config,
+            uarch::KernelProfiler prof)
+{
+    ObjectList out;
+    std::vector<std::uint8_t> vision_used(
+        vision_objects.objects.size(), 0);
+
+    for (const DetectedObject &cluster : lidar_objects.objects) {
+        const geom::Vec2 rel = ego.toLocal(cluster.position);
+        const double range = rel.norm();
+        const double bearing = std::atan2(rel.y, rel.x);
+        const double half_width =
+            range > 0.5
+                ? std::atan2(std::max(cluster.width, 0.5), 2.0 * range)
+                : 0.5;
+
+        // Best vision match by bearing proximity.
+        std::int64_t best = -1;
+        double best_diff = 1e9;
+        for (std::size_t vi = 0;
+             vi < vision_objects.objects.size(); ++vi) {
+            const DetectedObject &v = vision_objects.objects[vi];
+            if (v.confidence < config.minVisionConfidence)
+                continue;
+            const double diff =
+                std::fabs(geom::normalizeAngle(v.bearing - bearing));
+            const bool in_window =
+                diff < half_width + config.bearingSlackRad &&
+                std::fabs(v.rangeEstimate - range) <
+                    config.maxRangeRatio * range;
+            prof.branch(siteMatch, in_window);
+            if (in_window && diff < best_diff) {
+                best_diff = diff;
+                best = static_cast<std::int64_t>(vi);
+            }
+        }
+
+        DetectedObject fused = cluster;
+        if (best >= 0) {
+            const DetectedObject &v =
+                vision_objects.objects[static_cast<std::size_t>(
+                    best)];
+            vision_used[static_cast<std::size_t>(best)] = 1;
+            fused.label = v.label;
+            fused.confidence = std::max(cluster.confidence,
+                                        v.confidence);
+            if (!fused.truthId)
+                fused.truthId = v.truthId;
+        }
+        out.objects.push_back(std::move(fused));
+    }
+
+    // Vision-only detections (no LiDAR support): project to the
+    // estimated range along the bearing.
+    if (config.keepUnmatchedVision) {
+        for (std::size_t vi = 0;
+             vi < vision_objects.objects.size(); ++vi) {
+            if (vision_used[vi])
+                continue;
+            const DetectedObject &v = vision_objects.objects[vi];
+            if (v.confidence < config.minVisionConfidence ||
+                v.rangeEstimate <= 0.0)
+                continue;
+            DetectedObject obj = v;
+            const geom::Vec2 local{
+                v.rangeEstimate * std::cos(v.bearing),
+                v.rangeEstimate * std::sin(v.bearing)};
+            obj.position = ego.apply(local);
+            obj.length = obj.length > 0 ? obj.length : 1.5;
+            obj.width = obj.width > 0 ? obj.width : 1.5;
+            obj.confidence *= 0.8; // range is only estimated
+            out.objects.push_back(std::move(obj));
+        }
+    }
+
+    uarch::OpCounts ops;
+    const std::uint64_t pairs =
+        std::max<std::uint64_t>(1, lidar_objects.objects.size() *
+                                       vision_objects.objects
+                                           .size());
+    const std::uint64_t n =
+        lidar_objects.objects.size() +
+        vision_objects.objects.size();
+    ops.loads = 30 * pairs + 40 * n;
+    ops.stores = 4 * pairs + 30 * n;
+    ops.branches = 8 * pairs + 10 * n;
+    ops.fpAlu = 45 * pairs + 30 * n;
+    ops.fpDiv = 3 * pairs;
+    ops.intAlu = 10 * pairs + 10 * n;
+    prof.addOps(ops);
+    prof.bulkBranches(6 * pairs);
+    return out;
+}
+
+} // namespace av::perception

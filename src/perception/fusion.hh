@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Range-vision fusion — Autoware's range_vision_fusion node: match
+ * LiDAR clusters with image detections so objects get both 3-D
+ * geometry (from LiDAR) and semantics (from vision), paper §II-B.
+ */
+
+#ifndef AVSCOPE_PERCEPTION_FUSION_HH
+#define AVSCOPE_PERCEPTION_FUSION_HH
+
+#include "geom/pose.hh"
+#include "perception/objects.hh"
+#include "uarch/profiler.hh"
+
+namespace av::perception {
+
+/** Fusion matching parameters. */
+struct FusionConfig
+{
+    double bearingSlackRad = 0.035; ///< extra matching tolerance
+    double maxRangeRatio = 0.5;     ///< |r_lidar - r_vis| / r limit
+    double minVisionConfidence = 0.30;
+    bool keepUnmatchedVision = true;
+};
+
+/**
+ * Fuse.
+ * @param lidar_objects world-frame clusters (Unknown labels)
+ * @param vision_objects bearing-space detections
+ * @param ego          pose the bearings are relative to
+ */
+ObjectList fuseObjects(const ObjectList &lidar_objects,
+                       const ObjectList &vision_objects,
+                       const geom::Pose2 &ego,
+                       const FusionConfig &config,
+                       uarch::KernelProfiler prof =
+                           uarch::KernelProfiler());
+
+} // namespace av::perception
+
+#endif // AVSCOPE_PERCEPTION_FUSION_HH

@@ -1,0 +1,511 @@
+#include "perception/imm_ukf_pda.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/pose.hh"
+#include "util/logging.hh"
+
+namespace av::perception {
+
+namespace {
+
+enum Site : std::uint64_t {
+    siteGate = 0x74001,
+    siteConfirm = 0x74002,
+    siteDrop = 0x74003,
+};
+
+/** Model indices. */
+enum Model : std::size_t { modelCv = 0, modelCtrv = 1, modelRm = 2 };
+
+/** IMM transition probabilities (sticky diagonal). */
+constexpr double transition[nModels][nModels] = {
+    {0.90, 0.08, 0.02},
+    {0.08, 0.90, 0.02},
+    {0.05, 0.05, 0.90},
+};
+
+using StateVec = std::array<double, nState>;
+using StateMat = av::geom::Mat<nState, nState>;
+
+/** CTRV / CV / RM process model for one sigma point. */
+StateVec
+processModel(const StateVec &x, double dt, std::size_t model)
+{
+    StateVec out = x;
+    const double v = x[2];
+    const double yaw = x[3];
+    const double yawd = model == modelCtrv ? x[4] : 0.0;
+
+    if (model == modelRm) {
+        // Random motion: position fixed, velocity decays.
+        out[2] = v * 0.7;
+        return out;
+    }
+    if (std::fabs(yawd) > 1e-3) {
+        out[0] += v / yawd *
+                  (std::sin(yaw + yawd * dt) - std::sin(yaw));
+        out[1] += v / yawd *
+                  (std::cos(yaw) - std::cos(yaw + yawd * dt));
+    } else {
+        out[0] += v * std::cos(yaw) * dt;
+        out[1] += v * std::sin(yaw) * dt;
+    }
+    out[3] = av::geom::normalizeAngle(yaw + yawd * dt);
+    out[4] = model == modelCtrv ? x[4] : 0.0;
+    return out;
+}
+
+/** Per-track per-frame abstract op cost (UKF algebra). */
+const av::uarch::OpCounts trackOps{/*loads=*/800, /*stores=*/500,
+                                   /*branches=*/550, /*intAlu=*/700,
+                                   /*fpAlu=*/750, /*fpDiv=*/65,
+                                   /*simd=*/0, /*other=*/160};
+
+/** Per-(track,measurement) gating cost. */
+const av::uarch::OpCounts gateOps{/*loads=*/24, /*stores=*/4,
+                                  /*branches=*/6, /*intAlu=*/10,
+                                  /*fpAlu=*/60, /*fpDiv=*/2,
+                                  /*simd=*/0, /*other=*/4};
+
+} // namespace
+
+ImmUkfPdaTracker::ImmUkfPdaTracker(const TrackerConfig &config)
+    : config_(config)
+{
+}
+
+std::vector<Track>
+ImmUkfPdaTracker::tracks() const
+{
+    std::vector<Track> out;
+    out.reserve(tracks_.size());
+    for (const auto &t : tracks_)
+        out.push_back(t.pub);
+    return out;
+}
+
+std::size_t
+ImmUkfPdaTracker::confirmedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tracks_)
+        n += t.pub.confirmed;
+    return n;
+}
+
+ImmUkfPdaTracker::InternalTrack
+ImmUkfPdaTracker::makeTrack(const DetectedObject &detection)
+{
+    InternalTrack track;
+    track.pub.id = nextId_++;
+    track.pub.hits = 1;
+    track.pub.state = {detection.position.x, detection.position.y,
+                       config_.initVelocity, detection.yaw, 0.0};
+    track.pub.modeProb = {0.4, 0.4, 0.2};
+    track.pub.appearance = detection;
+
+    StateMat p;
+    p(0, 0) = p(1, 1) = 1.0;
+    p(2, 2) = 9.0;
+    p(3, 3) = 1.0;
+    p(4, 4) = 0.5;
+    track.pub.covariance = p;
+    for (auto &m : track.models) {
+        m.x = track.pub.state;
+        m.p = p;
+    }
+    return track;
+}
+
+void
+ImmUkfPdaTracker::mixModels(InternalTrack &track,
+                            uarch::KernelProfiler &prof)
+{
+    (void)prof;
+    // IMM interaction: mixed initial conditions per model.
+    const auto &mu = track.pub.modeProb;
+    std::array<double, nModels> cbar{};
+    for (std::size_t j = 0; j < nModels; ++j) {
+        for (std::size_t i = 0; i < nModels; ++i)
+            cbar[j] += transition[i][j] * mu[i];
+        cbar[j] = std::max(cbar[j], 1e-12);
+    }
+    std::array<StateVec, nModels> mixed_x{};
+    std::array<StateMat, nModels> mixed_p{};
+    for (std::size_t j = 0; j < nModels; ++j) {
+        for (std::size_t i = 0; i < nModels; ++i) {
+            const double w = transition[i][j] * mu[i] / cbar[j];
+            for (std::size_t k = 0; k < nState; ++k)
+                mixed_x[j][k] += w * track.models[i].x[k];
+        }
+        for (std::size_t i = 0; i < nModels; ++i) {
+            const double w = transition[i][j] * mu[i] / cbar[j];
+            for (std::size_t r = 0; r < nState; ++r) {
+                for (std::size_t c = 0; c < nState; ++c) {
+                    const double dx =
+                        track.models[i].x[r] - mixed_x[j][r];
+                    const double dy =
+                        track.models[i].x[c] - mixed_x[j][c];
+                    mixed_p[j](r, c) +=
+                        w * (track.models[i].p(r, c) + dx * dy);
+                }
+            }
+        }
+    }
+    for (std::size_t j = 0; j < nModels; ++j) {
+        track.models[j].x = mixed_x[j];
+        track.models[j].p = mixed_p[j];
+    }
+}
+
+void
+ImmUkfPdaTracker::predictTrack(InternalTrack &track, double dt,
+                               uarch::KernelProfiler &prof)
+{
+    mixModels(track, prof);
+
+    for (std::size_t mi = 0; mi < nModels; ++mi) {
+        ModelState &m = track.models[mi];
+
+        // Unscented transform: 2n+1 sigma points.
+        constexpr double lambda = 3.0 - double(nState);
+        StateMat sqrt_p;
+        StateMat scaled = m.p * (lambda + double(nState));
+        if (!geom::choleskyFactor(scaled, sqrt_p)) {
+            // Regularize and retry once.
+            for (std::size_t k = 0; k < nState; ++k)
+                scaled(k, k) += 1e-6 * (lambda + double(nState));
+            if (!geom::choleskyFactor(scaled, sqrt_p))
+                continue;
+        }
+
+        std::array<StateVec, 2 * nState + 1> sigma;
+        sigma[0] = m.x;
+        for (std::size_t k = 0; k < nState; ++k) {
+            for (std::size_t r = 0; r < nState; ++r) {
+                sigma[1 + k][r] = m.x[r] + sqrt_p(r, k);
+                sigma[1 + nState + k][r] = m.x[r] - sqrt_p(r, k);
+            }
+        }
+
+        const double w0 = lambda / (lambda + double(nState));
+        const double wi = 0.5 / (lambda + double(nState));
+
+        std::array<StateVec, 2 * nState + 1> propagated;
+        for (std::size_t sp = 0; sp < sigma.size(); ++sp)
+            propagated[sp] = processModel(sigma[sp], dt, mi);
+
+        StateVec mean{};
+        for (std::size_t sp = 0; sp < propagated.size(); ++sp) {
+            const double w = sp == 0 ? w0 : wi;
+            for (std::size_t r = 0; r < nState; ++r)
+                mean[r] += w * propagated[sp][r];
+        }
+        mean[3] = geom::normalizeAngle(mean[3]);
+
+        StateMat cov;
+        for (std::size_t sp = 0; sp < propagated.size(); ++sp) {
+            const double w = sp == 0 ? w0 : wi;
+            StateVec d;
+            for (std::size_t r = 0; r < nState; ++r)
+                d[r] = propagated[sp][r] - mean[r];
+            d[3] = geom::normalizeAngle(d[3]);
+            for (std::size_t r = 0; r < nState; ++r)
+                for (std::size_t cc = 0; cc < nState; ++cc)
+                    cov(r, cc) += w * d[r] * d[cc];
+        }
+
+        // Additive process noise.
+        const double sa = config_.stdAccel;
+        const double sy = config_.stdYawAccel;
+        const double dt2 = dt * dt;
+        cov(0, 0) += 0.25 * dt2 * dt2 * sa * sa;
+        cov(1, 1) += 0.25 * dt2 * dt2 * sa * sa;
+        cov(2, 2) += dt2 * sa * sa;
+        cov(3, 3) += 0.25 * dt2 * dt2 * sy * sy;
+        cov(4, 4) += dt2 * sy * sy;
+        if (mi == modelRm) {
+            cov(0, 0) += 0.4 * dt2;
+            cov(1, 1) += 0.4 * dt2;
+        }
+
+        m.x = mean;
+        m.p = cov;
+        if (prof.tracing()) {
+            // Track state/covariance reads; hot after first touch
+            // but scattered across the track vector.
+            prof.load(&m.p, sizeof(StateMat));
+            prof.load(&m.x, sizeof(StateVec));
+            prof.store(&m.p, sizeof(StateMat));
+            prof.hotLoads(360);
+            prof.hotStores(220);
+        }
+    }
+    prof.addOps(trackOps);
+    prof.bulkBranches(140);
+}
+
+bool
+ImmUkfPdaTracker::updateTrack(
+    InternalTrack &track,
+    const std::vector<const DetectedObject *> &gated,
+    uarch::KernelProfiler &prof)
+{
+    const double r_var = config_.measNoise * config_.measNoise;
+    bool any = false;
+
+    for (std::size_t mi = 0; mi < nModels; ++mi) {
+        ModelState &m = track.models[mi];
+        // Linear measurement z = (px, py):
+        // S = P(0:1,0:1) + R.
+        double s00 = m.p(0, 0) + r_var;
+        double s01 = m.p(0, 1);
+        double s11 = m.p(1, 1) + r_var;
+        const double det = s00 * s11 - s01 * s01;
+        if (det <= 1e-12) {
+            m.likelihood = 1e-9;
+            continue;
+        }
+        const double i00 = s11 / det;
+        const double i01 = -s01 / det;
+        const double i11 = s00 / det;
+
+        // PDA: association weights over gated measurements.
+        std::vector<double> weight(gated.size());
+        double weight_sum = 0.0;
+        std::vector<std::array<double, 2>> innovations(
+            gated.size());
+        for (std::size_t g = 0; g < gated.size(); ++g) {
+            const double nx = gated[g]->position.x - m.x[0];
+            const double ny = gated[g]->position.y - m.x[1];
+            innovations[g] = {nx, ny};
+            const double d2 = nx * (i00 * nx + i01 * ny) +
+                              ny * (i01 * nx + i11 * ny);
+            const double gauss =
+                std::exp(-0.5 * d2) /
+                (2.0 * M_PI * std::sqrt(det));
+            weight[g] = config_.detectProb * gauss;
+            weight_sum += weight[g];
+        }
+        // PDAF "none correct" mass in density units (Bar-Shalom):
+        // b = lambda * (1 - P_D * P_G) / P_D, with the gate
+        // probability folded into detectProb.
+        const double beta0 = config_.clutterDensity *
+                             (1.0 - config_.detectProb) /
+                             config_.detectProb;
+        const double denom = weight_sum + beta0;
+
+        if (gated.empty() || weight_sum <= 0.0) {
+            m.likelihood = beta0;
+            continue;
+        }
+        any = true;
+
+        // Combined innovation.
+        double cx = 0.0, cy = 0.0, spread00 = 0.0, spread01 = 0.0,
+               spread11 = 0.0;
+        for (std::size_t g = 0; g < gated.size(); ++g) {
+            const double beta = weight[g] / denom;
+            cx += beta * innovations[g][0];
+            cy += beta * innovations[g][1];
+            spread00 += beta * innovations[g][0] *
+                        innovations[g][0];
+            spread01 += beta * innovations[g][0] *
+                        innovations[g][1];
+            spread11 += beta * innovations[g][1] *
+                        innovations[g][1];
+        }
+
+        // Kalman gain K = P H^T S^-1 (H selects rows 0,1).
+        std::array<double, nState> k0, k1;
+        for (std::size_t r = 0; r < nState; ++r) {
+            k0[r] = m.p(r, 0) * i00 + m.p(r, 1) * i01;
+            k1[r] = m.p(r, 0) * i01 + m.p(r, 1) * i11;
+        }
+        for (std::size_t r = 0; r < nState; ++r)
+            m.x[r] += k0[r] * cx + k1[r] * cy;
+        m.x[3] = geom::normalizeAngle(m.x[3]);
+
+        // Covariance: standard update plus PDA spread term.
+        StateMat newp = m.p;
+        for (std::size_t r = 0; r < nState; ++r) {
+            for (std::size_t c = 0; c < nState; ++c) {
+                newp(r, c) -= k0[r] * (s00 * k0[c] + s01 * k1[c]) +
+                              k1[r] * (s01 * k0[c] + s11 * k1[c]);
+                const double sp_term =
+                    k0[r] * ((spread00 - cx * cx) * k0[c] +
+                             (spread01 - cx * cy) * k1[c]) +
+                    k1[r] * ((spread01 - cx * cy) * k0[c] +
+                             (spread11 - cy * cy) * k1[c]);
+                newp(r, c) += sp_term;
+            }
+        }
+        m.p = newp;
+        m.likelihood = std::max(weight_sum + beta0, 1e-12);
+    }
+
+    // IMM mode-probability update.
+    double total = 0.0;
+    std::array<double, nModels> cbar{};
+    for (std::size_t j = 0; j < nModels; ++j) {
+        for (std::size_t i = 0; i < nModels; ++i)
+            cbar[j] += transition[i][j] * track.pub.modeProb[i];
+        cbar[j] *= track.models[j].likelihood;
+        total += cbar[j];
+    }
+    if (total > 0.0) {
+        for (std::size_t j = 0; j < nModels; ++j)
+            track.pub.modeProb[j] = cbar[j] / total;
+    }
+    prof.addOps(gateOps.scaled(std::max<std::size_t>(
+        gated.size() * nModels, 1)));
+    return any;
+}
+
+void
+ImmUkfPdaTracker::combineEstimate(InternalTrack &track)
+{
+    StateVec mean{};
+    for (std::size_t j = 0; j < nModels; ++j)
+        for (std::size_t r = 0; r < nState; ++r)
+            mean[r] += track.pub.modeProb[j] * track.models[j].x[r];
+    StateMat cov;
+    for (std::size_t j = 0; j < nModels; ++j) {
+        for (std::size_t r = 0; r < nState; ++r) {
+            for (std::size_t c = 0; c < nState; ++c) {
+                const double dr = track.models[j].x[r] - mean[r];
+                const double dc = track.models[j].x[c] - mean[c];
+                cov(r, c) += track.pub.modeProb[j] *
+                             (track.models[j].p(r, c) + dr * dc);
+            }
+        }
+    }
+    track.pub.state = mean;
+    track.pub.covariance = cov;
+}
+
+ObjectList
+ImmUkfPdaTracker::update(const ObjectList &detections, sim::Tick t,
+                         uarch::KernelProfiler prof)
+{
+    const double dt =
+        first_ ? 0.1
+               : std::max(1e-3, sim::ticksToSeconds(t - lastUpdate_));
+    first_ = false;
+    lastUpdate_ = t;
+
+    // Predict every track forward.
+    for (InternalTrack &track : tracks_)
+        predictTrack(track, dt, prof);
+
+    // Gate measurements per track (using the CTRV model estimate).
+    std::vector<std::vector<const DetectedObject *>> gated(
+        tracks_.size());
+    std::vector<std::uint8_t> associated(
+        detections.objects.size(), 0);
+    for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+        const ModelState &m = tracks_[ti].models[modelCtrv];
+        const double r_var =
+            config_.measNoise * config_.measNoise;
+        const double s00 = m.p(0, 0) + r_var;
+        const double s01 = m.p(0, 1);
+        const double s11 = m.p(1, 1) + r_var;
+        const double det =
+            std::max(s00 * s11 - s01 * s01, 1e-12);
+        for (std::size_t di = 0; di < detections.objects.size();
+             ++di) {
+            const DetectedObject &d = detections.objects[di];
+            const double nx = d.position.x - m.x[0];
+            const double ny = d.position.y - m.x[1];
+            const double d2 =
+                (nx * (s11 * nx - s01 * ny) +
+                 ny * (s00 * ny - s01 * nx)) /
+                det;
+            const bool inside = d2 < config_.gateChi2;
+            prof.branch(siteGate, inside);
+            if (inside) {
+                gated[ti].push_back(&d);
+                associated[di] = 1;
+            }
+        }
+    }
+
+    // Update tracks; manage hit/miss counters.
+    for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+        InternalTrack &track = tracks_[ti];
+        const bool hit = updateTrack(track, gated[ti], prof);
+        if (hit) {
+            ++track.pub.hits;
+            track.pub.misses = 0;
+            // Refresh appearance from the nearest gated detection.
+            const DetectedObject *best = nullptr;
+            double best_d = 1e18;
+            for (const DetectedObject *d : gated[ti]) {
+                const double dd =
+                    (d->position - geom::Vec2{track.models[0].x[0],
+                                              track.models[0].x[1]})
+                        .squaredNorm();
+                if (dd < best_d) {
+                    best_d = dd;
+                    best = d;
+                }
+            }
+            if (best) {
+                // Keep semantic label once known.
+                const Label old_label =
+                    track.pub.appearance.label;
+                track.pub.appearance = *best;
+                if (best->label == Label::Unknown &&
+                    old_label != Label::Unknown)
+                    track.pub.appearance.label = old_label;
+            }
+        } else {
+            ++track.pub.misses;
+        }
+        const bool confirm =
+            !track.pub.confirmed &&
+            track.pub.hits >= config_.confirmHits;
+        prof.branch(siteConfirm, confirm);
+        if (confirm)
+            track.pub.confirmed = true;
+        combineEstimate(track);
+    }
+
+    // Drop stale tracks.
+    std::vector<InternalTrack> alive;
+    alive.reserve(tracks_.size());
+    for (InternalTrack &track : tracks_) {
+        const bool drop = track.pub.misses >= config_.dropMisses;
+        prof.branch(siteDrop, drop);
+        if (!drop)
+            alive.push_back(std::move(track));
+    }
+    tracks_ = std::move(alive);
+
+    // Spawn tentative tracks from unassociated detections.
+    for (std::size_t di = 0; di < detections.objects.size(); ++di) {
+        if (!associated[di])
+            tracks_.push_back(makeTrack(detections.objects[di]));
+    }
+
+    // Emit confirmed tracks.
+    ObjectList out;
+    for (const InternalTrack &track : tracks_) {
+        if (!track.pub.confirmed)
+            continue;
+        DetectedObject o = track.pub.appearance;
+        o.id = track.pub.id;
+        o.position = {track.pub.state[0], track.pub.state[1]};
+        o.yaw = track.pub.state[3];
+        o.hasVelocity = true;
+        const double v = track.pub.state[2];
+        o.velocity = geom::Vec2{std::cos(o.yaw), std::sin(o.yaw)} * v;
+        o.yawRate = track.pub.state[4];
+        out.objects.push_back(std::move(o));
+    }
+    return out;
+}
+
+} // namespace av::perception

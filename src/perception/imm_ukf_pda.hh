@@ -1,0 +1,124 @@
+/**
+ * @file
+ * IMM-UKF-PDA multi-object tracker — Autoware's imm_ukf_pda_tracker
+ * (paper §II-B, Table I), combining three interacting motion models
+ * (constant velocity, constant turn-rate & velocity, random motion)
+ * estimated by unscented Kalman filters, with probabilistic data
+ * association to cope with clutter and missed detections.
+ *
+ * State per track: [px, py, v, yaw, yawRate]. Measurements are the
+ * fused detections' positions.
+ */
+
+#ifndef AVSCOPE_PERCEPTION_IMM_UKF_PDA_HH
+#define AVSCOPE_PERCEPTION_IMM_UKF_PDA_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/mat.hh"
+#include "perception/objects.hh"
+#include "sim/ticks.hh"
+#include "uarch/profiler.hh"
+
+namespace av::perception {
+
+/** Tracker tuning (Autoware-flavoured defaults). */
+struct TrackerConfig
+{
+    double gateChi2 = 9.21;      ///< 99% chi-square, 2 dof
+    double detectProb = 0.9;     ///< P_D for PDA
+    double clutterDensity = 1e-3;
+    double measNoise = 0.35;      ///< position sigma (m)
+    double stdAccel = 2.0;        ///< CTRV/CV accel noise
+    double stdYawAccel = 0.6;
+    std::uint32_t confirmHits = 3;
+    std::uint32_t dropMisses = 4;
+    double initVelocity = 0.0;
+};
+
+/** Number of IMM motion models. */
+inline constexpr std::size_t nModels = 3;
+/** Tracker state dimension. */
+inline constexpr std::size_t nState = 5;
+
+/** One track (public view). */
+struct Track
+{
+    std::uint32_t id = 0;
+    bool confirmed = false;
+    std::uint32_t hits = 0;
+    std::uint32_t misses = 0;
+
+    std::array<double, nState> state{}; ///< combined IMM estimate
+    geom::Mat<nState, nState> covariance;
+    std::array<double, nModels> modeProb{};
+
+    /** Latest associated appearance (bbox, label). */
+    DetectedObject appearance;
+};
+
+/**
+ * The tracker. Feed measurement lists in time order.
+ */
+class ImmUkfPdaTracker
+{
+  public:
+    explicit ImmUkfPdaTracker(const TrackerConfig &config =
+                                  TrackerConfig());
+
+    /**
+     * Process one detection list.
+     * @param detections fused objects (world frame)
+     * @param t          measurement time
+     * @param prof       instrumentation
+     * @return confirmed tracks as detected objects with velocity
+     */
+    ObjectList update(const ObjectList &detections, sim::Tick t,
+                      uarch::KernelProfiler prof =
+                          uarch::KernelProfiler());
+
+    /** Snapshot of the current tracks (public view). */
+    std::vector<Track> tracks() const;
+    std::size_t confirmedCount() const;
+
+  private:
+    /** Per-model UKF state of one track. */
+    struct ModelState
+    {
+        std::array<double, nState> x{};
+        geom::Mat<nState, nState> p;
+        double likelihood = 1.0;
+    };
+
+    struct InternalTrack
+    {
+        Track pub;
+        std::array<ModelState, nModels> models;
+    };
+
+    TrackerConfig config_;
+    std::vector<InternalTrack> tracks_;
+    std::uint32_t nextId_ = 1;
+    sim::Tick lastUpdate_ = 0;
+    bool first_ = true;
+
+    void predictTrack(InternalTrack &track, double dt,
+                      uarch::KernelProfiler &prof);
+    /**
+     * PDA update of one track against the gated measurements.
+     * @return true when at least one measurement fell in the gate
+     */
+    bool updateTrack(InternalTrack &track,
+                     const std::vector<const DetectedObject *> &gated,
+                     uarch::KernelProfiler &prof);
+    void mixModels(InternalTrack &track,
+                   uarch::KernelProfiler &prof);
+    void combineEstimate(InternalTrack &track);
+    InternalTrack makeTrack(const DetectedObject &detection);
+};
+
+} // namespace av::perception
+
+#endif // AVSCOPE_PERCEPTION_IMM_UKF_PDA_HH

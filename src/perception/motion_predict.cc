@@ -1,0 +1,50 @@
+#include "perception/motion_predict.hh"
+
+#include <cmath>
+
+#include "geom/pose.hh"
+
+namespace av::perception {
+
+ObjectList
+predictMotion(const ObjectList &tracked, const PredictConfig &config,
+              uarch::KernelProfiler prof)
+{
+    ObjectList out = tracked;
+    const auto steps = static_cast<std::size_t>(
+        config.horizonSec / config.stepSec);
+
+    std::uint64_t emitted = 0;
+    for (DetectedObject &obj : out.objects) {
+        obj.predictedPath.clear();
+        if (!obj.hasVelocity)
+            continue;
+        obj.predictedPath.reserve(steps);
+        const double speed = obj.velocity.norm();
+        double yaw = obj.yaw;
+        geom::Vec2 pos = obj.position;
+        for (std::size_t s = 0; s < steps; ++s) {
+            // CTRV extrapolation with the tracked yaw rate.
+            yaw = geom::normalizeAngle(
+                yaw + obj.yawRate * config.stepSec);
+            pos += geom::Vec2{std::cos(yaw), std::sin(yaw)} *
+                   (speed * config.stepSec);
+            obj.predictedPath.push_back(pos);
+            if (prof.tracing())
+                prof.store(&obj.predictedPath.back());
+            ++emitted;
+        }
+    }
+
+    uarch::OpCounts ops;
+    ops.loads = 6 * emitted + 30 * out.objects.size();
+    ops.stores = 4 * emitted + 10 * out.objects.size();
+    ops.branches = 2 * emitted + 6 * out.objects.size();
+    ops.fpAlu = 18 * emitted;
+    ops.intAlu = 4 * emitted;
+    prof.addOps(ops);
+    prof.bulkBranches(2 * emitted);
+    return out;
+}
+
+} // namespace av::perception

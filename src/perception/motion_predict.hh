@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Naive motion prediction — Autoware's naive_motion_predict:
+ * extrapolate each tracked object under a constant-velocity /
+ * constant-turn assumption (the paper notes Autoware assumes
+ * constant velocity both when driving straight and when turning,
+ * §II-B).
+ */
+
+#ifndef AVSCOPE_PERCEPTION_MOTION_PREDICT_HH
+#define AVSCOPE_PERCEPTION_MOTION_PREDICT_HH
+
+#include "perception/objects.hh"
+#include "uarch/profiler.hh"
+
+namespace av::perception {
+
+/** Prediction horizon parameters (Autoware defaults). */
+struct PredictConfig
+{
+    double horizonSec = 3.0;
+    double stepSec = 0.15;
+};
+
+/**
+ * Fill predictedPath on every object (in place) and return the
+ * enriched list.
+ */
+ObjectList predictMotion(const ObjectList &tracked,
+                         const PredictConfig &config,
+                         uarch::KernelProfiler prof =
+                             uarch::KernelProfiler());
+
+} // namespace av::perception
+
+#endif // AVSCOPE_PERCEPTION_MOTION_PREDICT_HH

@@ -1,0 +1,251 @@
+#include "perception/ndt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace av::perception {
+
+namespace {
+
+enum Site : std::uint64_t {
+    siteVoxelFound = 0x71001,
+    siteConverged = 0x71002,
+};
+
+/** Abstract per-(point,voxel) scoring cost. */
+const uarch::OpCounts scoreOps{/*loads=*/38, /*stores=*/10,
+                               /*branches=*/4, /*intAlu=*/8,
+                               /*fpAlu=*/38, /*fpDiv=*/1,
+                               /*simd=*/0, /*other=*/2};
+
+} // namespace
+
+void
+NdtMatcher::computeConstants()
+{
+    // Magnusson 2009, eq. 6.8: fit the log-likelihood of the
+    // Gaussian + uniform-outlier mixture with an exponential.
+    const double outlier = config_.outlierRatio;
+    const double resolution = config_.voxelLeaf;
+    const double c1 = 10.0 * (1.0 - outlier);
+    const double c2 =
+        outlier / (resolution * resolution * resolution);
+    const double d3 = -std::log(c2);
+    d1_ = -std::log(c1 + c2) - d3;
+    d2_ = -2.0 *
+          std::log((-std::log(c1 * std::exp(-0.5) + c2) - d3) / d1_);
+}
+
+void
+NdtMatcher::setMap(const pc::PointCloud &map,
+                   uarch::KernelProfiler prof)
+{
+    grid_.build(map, config_.voxelLeaf, prof);
+    computeConstants();
+}
+
+namespace {
+
+/** Accumulated derivatives of the NDT score wrt (tx, ty, yaw). */
+struct Derivatives
+{
+    double score = 0.0;
+    std::array<double, 3> gradient{};
+    geom::Mat<3, 3> hessian;
+    std::uint32_t matched = 0;
+};
+
+} // namespace
+
+NdtResult
+NdtMatcher::align(const pc::PointCloud &source,
+                  const geom::Pose2 &guess,
+                  uarch::KernelProfiler prof) const
+{
+    AV_ASSERT(hasMap(), "NdtMatcher::align without a map");
+    NdtResult result;
+    result.pose = guess;
+
+    std::vector<const pc::GaussianVoxelGrid::Voxel *> hood;
+    hood.reserve(7);
+
+    for (std::uint32_t iter = 0; iter < config_.maxIterations;
+         ++iter) {
+        const double c = std::cos(result.pose.yaw);
+        const double s = std::sin(result.pose.yaw);
+        Derivatives d;
+        std::uint64_t pairs = 0;
+
+        for (const pc::Point &p : source.points) {
+            // Transformed point (planar pose, z preserved).
+            const double lx = p.x, ly = p.y;
+            const geom::Vec3 x{
+                c * lx - s * ly + result.pose.p.x,
+                s * lx + c * ly + result.pose.p.y, p.z};
+            // Jacobian columns of x wrt (tx, ty, yaw).
+            const geom::Vec3 j_yaw{-s * lx - c * ly,
+                                   c * lx - s * ly, 0.0};
+
+            grid_.neighborhood(x, hood, prof);
+            const bool any = !hood.empty();
+            prof.branch(siteVoxelFound, any);
+            if (!any)
+                continue;
+
+            for (const auto *voxel : hood) {
+                const geom::Vec3 q = x - voxel->mean;
+                const geom::Vec3 siq =
+                    geom::mul(voxel->inverseCovariance, q);
+                const double qsq = q.dot(siq);
+                if (qsq > 40.0)
+                    continue; // numerically zero contribution
+                const double e = std::exp(-0.5 * d2_ * qsq);
+                // d1_ is negative (log of a probability ratio);
+                // factor > 0 makes gradient/hessian those of the
+                // *minimized* objective L = d1 * sum(e), so the
+                // Hessian is positive definite near the optimum and
+                // the Cholesky solve below is well posed.
+                const double factor = -d1_ * d2_ * e;
+                d.score += -d1_ * e; // positive, higher = better
+                ++d.matched;
+
+                // dq/dtheta columns: (1,0,0), (0,1,0), j_yaw.
+                const double a0 = siq.x;
+                const double a1 = siq.y;
+                const double a2 = siq.dot(j_yaw);
+                const double grad[3] = {factor * a0, factor * a1,
+                                        factor * a2};
+                d.gradient[0] += grad[0];
+                d.gradient[1] += grad[1];
+                d.gradient[2] += grad[2];
+
+                // Gauss-Newton Hessian: keep only the
+                // J^T Sigma^-1 J part (plus the yaw second
+                // derivative), dropping the -d2 a_i a_j term. The
+                // full Newton Hessian turns indefinite for points
+                // beyond a stiff voxel's sigma (thin wall
+                // covariances), which stalls the solve exactly when
+                // the guess is worst; Gauss-Newton keeps it PSD.
+                const geom::Mat3 &si = voxel->inverseCovariance;
+                const double jtsj[3][3] = {
+                    {si(0, 0), si(0, 1),
+                     si(0, 0) * j_yaw.x + si(0, 1) * j_yaw.y},
+                    {si(1, 0), si(1, 1),
+                     si(1, 0) * j_yaw.x + si(1, 1) * j_yaw.y},
+                    {0, 0, 0}};
+                // Row 2 via symmetry computed below.
+                // Second derivative only for (yaw, yaw):
+                // d2x/dyaw2 = -(R p) = -(x - t).
+                const geom::Vec3 d2yaw{
+                    -(c * lx - s * ly), -(s * lx + c * ly), 0.0};
+                for (int i = 0; i < 3; ++i) {
+                    for (int j = 0; j < 3; ++j) {
+                        double jt = 0.0;
+                        if (i < 2 && j < 2) {
+                            jt = jtsj[i][j];
+                        } else if (i == 2 && j == 2) {
+                            jt = j_yaw.dot(
+                                     geom::mul(si, j_yaw)) +
+                                 siq.dot(d2yaw);
+                        } else if (i == 2) {
+                            jt = jtsj[j][2];
+                        } else {
+                            jt = jtsj[i][2];
+                        }
+                        d.hessian(i, j) += factor * jt;
+                    }
+                }
+            }
+            pairs += std::max<std::uint64_t>(hood.size(), 1);
+        }
+        // Batched accounting for the whole scoring pass; the
+        // derivative algebra runs on registers / hot stack, and the
+        // inner-loop control is well predicted.
+        prof.addOps(scoreOps.scaled(pairs));
+        if (prof.tracing()) {
+            prof.hotLoads(45 * pairs + 10 * source.size());
+            prof.hotStores(12 * pairs + 4 * source.size());
+            // Occasional spill stores over a rotating working
+            // buffer (Eigen temporaries in the real code).
+            static thread_local std::vector<double> scratch(16384);
+            static thread_local std::size_t cursor = 0;
+            for (std::uint64_t k = 0; k < pairs / 6; ++k) {
+                prof.store(&scratch[cursor]);
+                cursor = (cursor + 23) % scratch.size();
+            }
+        }
+        prof.bulkBranches(28 * source.size());
+
+        ++result.iterations;
+        if (d.matched == 0)
+            break;
+
+        // Newton step on L: solve (grad^2 L) delta = -grad L.
+        std::array<double, 3> delta{};
+        const std::array<double, 3> rhs{-d.gradient[0],
+                                        -d.gradient[1],
+                                        -d.gradient[2]};
+        if (!geom::solveCholesky(d.hessian, rhs, delta))
+            break;
+
+        delta[0] = std::clamp(delta[0], -config_.maxStepXy,
+                              config_.maxStepXy);
+        delta[1] = std::clamp(delta[1], -config_.maxStepXy,
+                              config_.maxStepXy);
+        delta[2] = std::clamp(delta[2], -config_.maxStepYaw,
+                              config_.maxStepYaw);
+
+        result.pose.p.x += delta[0];
+        result.pose.p.y += delta[1];
+        result.pose.yaw =
+            geom::normalizeAngle(result.pose.yaw + delta[2]);
+
+        result.score = d.score; // positive = better
+        result.matchedPoints = d.matched;
+
+        const bool converged =
+            std::fabs(delta[0]) < config_.translationEps &&
+            std::fabs(delta[1]) < config_.translationEps &&
+            std::fabs(delta[2]) < config_.rotationEps;
+        prof.branch(siteConverged, converged);
+        if (converged) {
+            result.converged = true;
+            break;
+        }
+    }
+    if (result.matchedPoints > 0)
+        result.fitness =
+            result.score / static_cast<double>(result.matchedPoints);
+    return result;
+}
+
+double
+NdtMatcher::score(const pc::PointCloud &source,
+                  const geom::Pose2 &pose,
+                  uarch::KernelProfiler prof) const
+{
+    AV_ASSERT(hasMap(), "NdtMatcher::score without a map");
+    const double c = std::cos(pose.yaw);
+    const double s = std::sin(pose.yaw);
+    std::vector<const pc::GaussianVoxelGrid::Voxel *> hood;
+    double total = 0.0;
+    for (const pc::Point &p : source.points) {
+        const geom::Vec3 x{c * p.x - s * p.y + pose.p.x,
+                           s * p.x + c * p.y + pose.p.y, p.z};
+        grid_.neighborhood(x, hood, prof);
+        for (const auto *voxel : hood) {
+            const geom::Vec3 q = x - voxel->mean;
+            const double qsq =
+                q.dot(geom::mul(voxel->inverseCovariance, q));
+            if (qsq > 40.0)
+                continue;
+            total += d1_ * std::exp(-0.5 * d2_ * qsq);
+        }
+        prof.addOps(scoreOps);
+    }
+    return -total;
+}
+
+} // namespace av::perception

@@ -1,0 +1,55 @@
+#include "perception/node_base.hh"
+
+#include "sim/ticks.hh"
+
+namespace av::perception {
+
+PerceptionNode::PerceptionNode(ros::RosGraph &graph, std::string name,
+                               const NodeConfig &config)
+    : ros::Node(graph, std::move(name)), config_(config),
+      arch_(config.cache, config.branch, config.pipeline,
+            config.tracePeriod),
+      latency_(1u << 15), jitterRng_(std::hash<std::string>{}(
+                              this->name()))
+{
+    arch_.setOpScale(config_.workScale);
+}
+
+hw::CpuTask
+PerceptionNode::makeCpuTask(const uarch::InvocationCost &cost,
+                            std::function<void()> on_complete)
+{
+    hw::CpuTask task;
+    task.owner = name();
+    task.cycles = cost.cycles;
+    if (config_.costJitterCv > 0.0)
+        task.cycles *= jitterRng_.logNormalMeanCv(
+            1.0, config_.costJitterCv);
+    task.memBytesPerCycle =
+        cost.cycles > 0.0 ? cost.dramBytes / cost.cycles : 0.0;
+    // Sensitivity: the full L1-miss traffic (DRAM estimate divided
+    // back by the L2 absorption factor).
+    const double l2_factor =
+        arch_.pipeline().config().l2MissFactor;
+    task.l1BytesPerCycle =
+        l2_factor > 0.0 ? task.memBytesPerCycle / l2_factor : 0.0;
+    task.onComplete = std::move(on_complete);
+    return task;
+}
+
+void
+PerceptionNode::finishWorkOnCpu(std::function<void()> then)
+{
+    const uarch::InvocationCost cost = arch_.endInvocation();
+    machine().cpu().submit(makeCpuTask(cost, std::move(then)));
+}
+
+void
+PerceptionNode::recordLatency(sim::Tick arrival)
+{
+    const sim::Tick now = graph_.eventQueue().now();
+    if (now >= arrival)
+        latency_.add(sim::ticksToMs(now - arrival));
+}
+
+} // namespace av::perception

@@ -1,0 +1,576 @@
+#include "perception/nodes.hh"
+#include <cstdlib>
+#include <cstdio>
+
+#include <cmath>
+
+#include "world/recorder.hh"
+
+namespace av::perception {
+
+namespace {
+
+/** Wrap a payload in a shared_ptr for cheap capture in callbacks. */
+template <typename T>
+std::shared_ptr<T>
+share(T value)
+{
+    return std::make_shared<T>(std::move(value));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- voxel
+
+VoxelGridFilterNode::VoxelGridFilterNode(ros::RosGraph &graph,
+                                         const NodeConfig &config,
+                                         double leaf)
+    : PerceptionNode(graph, "voxel_grid_filter", config), leaf_(leaf),
+      pub_(graph.advertise<pc::PointCloud>(topics::filteredPoints))
+{
+    subscribe<pc::PointCloud>(
+        world::topics::pointsRaw, 1,
+        [this](const ros::Stamped<pc::PointCloud> &msg,
+               std::function<void()> done) {
+            beginWork();
+            auto out =
+                share(pc::voxelGridDownsample(msg.data, leaf_,
+                                              profiler()));
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, out, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *out, out->byteSize());
+                done();
+            });
+        });
+}
+
+// ------------------------------------------------------------------ ndt
+
+NdtMatchingNode::NdtMatchingNode(ros::RosGraph &graph,
+                                 const NodeConfig &config,
+                                 const pc::PointCloud &map,
+                                 std::optional<geom::Pose2> initial_pose,
+                                 const NdtConfig &ndt)
+    : PerceptionNode(graph, "ndt_matching", config), matcher_(ndt),
+      initialPose_(initial_pose),
+      pub_(graph.advertise<PoseEstimate>(topics::ndtPose))
+{
+    matcher_.setMap(map);
+
+    subscribe<world::GnssFix>(
+        world::topics::gnss, 1,
+        [this](const ros::Stamped<world::GnssFix> &msg,
+               std::function<void()> done) {
+            if (!gnssInit_)
+                gnssInit_ = msg.data.position;
+            done();
+        });
+
+    subscribe<world::ImuSample>(
+        world::topics::imu, 10,
+        [this](const ros::Stamped<world::ImuSample> &msg,
+               std::function<void()> done) {
+            imu_ = msg.data;
+            done();
+        });
+
+    subscribe<pc::PointCloud>(
+        topics::filteredPoints, 1,
+        [this](const ros::Stamped<pc::PointCloud> &msg,
+               std::function<void()> done) {
+            if (!lastPose_ && !gnssInit_ && !initialPose_) {
+                done(); // cannot localize before the first fix
+                return;
+            }
+            // Initial guess. Preferred: dead-reckon the previous
+            // estimate with IMU/odometry (speed + yaw rate); the
+            // street corridor is longitudinally weakly observable,
+            // so NDT needs a guess within its narrow basin (paper
+            // SII-A: the IMU anticipates the next position).
+            geom::Pose2 guess;
+            if (lastPose_ && imu_) {
+                const double dt = sim::ticksToSeconds(
+                    msg.header.stamp - lastStamp_);
+                const double yaw = geom::normalizeAngle(
+                    lastPose_->yaw + imu_->yawRate * dt);
+                guess.yaw = yaw;
+                guess.p = lastPose_->position +
+                          geom::Vec2{std::cos(yaw), std::sin(yaw)} *
+                              (imu_->speed * dt);
+            } else if (lastPose_) {
+                const double dt = sim::ticksToSeconds(
+                    msg.header.stamp - lastStamp_);
+                guess.p = lastPose_->position + velocity_ * dt;
+                guess.yaw = geom::normalizeAngle(
+                    lastPose_->yaw + yawRate_ * dt);
+            } else if (initialPose_) {
+                guess = *initialPose_;
+            } else {
+                guess.p = {gnssInit_->x, gnssInit_->y};
+                guess.yaw = 0.0;
+            }
+
+            beginWork();
+            const NdtResult result =
+                matcher_.align(msg.data, guess, profiler());
+            if (std::getenv("AV_NDT_DEBUG")) {
+                std::fprintf(stderr,
+                             "[ndt] t=%.2f imu=%d guess=(%.2f,%.2f,"
+                             "%.3f) est=(%.2f,%.2f,%.3f) it=%u "
+                             "conv=%d fit=%.2f n=%zu\n",
+                             sim::ticksToSeconds(msg.header.stamp),
+                             imu_.has_value(), guess.p.x, guess.p.y,
+                             guess.yaw, result.pose.p.x,
+                             result.pose.p.y, result.pose.yaw,
+                             result.iterations, result.converged,
+                             result.fitness, msg.data.size());
+            }
+
+            PoseEstimate estimate;
+            estimate.position = result.pose.p;
+            estimate.yaw = result.pose.yaw;
+            estimate.fitnessScore = result.fitness;
+            estimate.iterations = result.iterations;
+            estimate.converged = result.converged;
+
+            // Velocity bookkeeping for the next guess.
+            if (lastPose_) {
+                const double dt = sim::ticksToSeconds(
+                    msg.header.stamp - lastStamp_);
+                if (dt > 1e-3) {
+                    velocity_ =
+                        (estimate.position - lastPose_->position) /
+                        dt;
+                    yawRate_ = geom::normalizeAngle(
+                                   estimate.yaw - lastPose_->yaw) /
+                               dt;
+                }
+            }
+            lastPose_ = estimate;
+            lastStamp_ = msg.header.stamp;
+
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, estimate, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, estimate, 96);
+                done();
+            });
+        });
+}
+
+// ----------------------------------------------------------- ray ground
+
+RayGroundFilterNode::RayGroundFilterNode(ros::RosGraph &graph,
+                                         const NodeConfig &config,
+                                         const RayGroundConfig &filter)
+    : PerceptionNode(graph, "ray_ground_filter", config),
+      filter_(filter),
+      pubNoGround_(
+          graph.advertise<pc::PointCloud>(topics::pointsNoGround)),
+      pubGround_(graph.advertise<pc::PointCloud>(topics::pointsGround))
+{
+    subscribe<pc::PointCloud>(
+        world::topics::pointsRaw, 1,
+        [this](const ros::Stamped<pc::PointCloud> &msg,
+               std::function<void()> done) {
+            beginWork();
+            auto split = share(
+                rayGroundFilter(msg.data, filter_, profiler()));
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, split, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pubNoGround_.publish(header, split->noGround,
+                                     split->noGround.byteSize());
+                pubGround_.publish(header, split->ground,
+                                   split->ground.byteSize());
+                done();
+            });
+        });
+}
+
+// -------------------------------------------------------------- cluster
+
+EuclideanClusterNode::EuclideanClusterNode(ros::RosGraph &graph,
+                                           const NodeConfig &config,
+                                           const ClusterConfig &cluster,
+                                           bool use_gpu)
+    : PerceptionNode(graph, "euclidean_cluster", config),
+      cluster_(cluster), useGpu_(use_gpu),
+      pub_(graph.advertise<ObjectList>(topics::lidarObjects))
+{
+    subscribe<PoseEstimate>(
+        topics::ndtPose, 2,
+        [this](const ros::Stamped<PoseEstimate> &msg,
+               std::function<void()> done) {
+            pose_ = msg.data;
+            done();
+        });
+
+    subscribe<pc::PointCloud>(
+        topics::pointsNoGround, 1,
+        [this](const ros::Stamped<pc::PointCloud> &msg,
+               std::function<void()> done) {
+            beginWork();
+            const pc::PointCloud cropped =
+                cropForClustering(msg.data, cluster_, profiler());
+            const auto clusters =
+                euclideanCluster(cropped, cluster_, profiler());
+
+            // Clusters are vehicle-frame; ground them in the world
+            // with the latest localization estimate.
+            const geom::Pose2 ego =
+                pose_ ? geom::Pose2{pose_->position, pose_->yaw}
+                      : geom::Pose2{};
+            auto list = share(ObjectList{});
+            for (const Cluster &cl : clusters) {
+                DetectedObject obj;
+                obj.label = Label::Unknown;
+                obj.confidence = 0.5;
+                obj.position =
+                    ego.apply({cl.centroid.x, cl.centroid.y});
+                obj.yaw =
+                    geom::normalizeAngle(cl.yaw + ego.yaw);
+                obj.length = cl.length;
+                obj.width = cl.width;
+                obj.height = cl.height;
+                obj.pointCount = cl.pointCount;
+                list->objects.push_back(std::move(obj));
+            }
+
+            const auto cost = finishWork();
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            const auto publish = [this, list, header, arrival,
+                                  done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *list, list->byteSize());
+                done();
+            };
+
+            if (!useGpu_) {
+                machine().cpu().submit(makeCpuTask(cost, publish));
+                return;
+            }
+            // GPU path: ~35% of the work stays on the CPU
+            // (transforms, extraction); the neighbour search runs as
+            // two kernels on the device.
+            const double n = static_cast<double>(cropped.size());
+            hw::GpuJob job;
+            job.owner = name();
+            job.h2dBytes = n * 16.0;
+            const double kflops = 1.1e10 * (n / 3000.0) + 5.0e8;
+            job.kernels = {hw::GpuKernel{kflops, n * 64.0, 0.8},
+                           hw::GpuKernel{kflops, n * 32.0, 0.8}};
+            job.d2hBytes = 64.0 * clusters.size() + 1024.0;
+
+            auto pre = cost;
+            pre.cycles *= 0.50;
+            pre.dramBytes *= 0.50;
+            auto post = cost;
+            post.cycles *= 0.45;
+            post.dramBytes *= 0.45;
+
+            std::vector<hw::Phase> phases;
+            phases.push_back(hw::Phase::makeCpu(
+                makeCpuTask(pre, nullptr)));
+            phases.push_back(hw::Phase::makeGpu(std::move(job)));
+            phases.push_back(hw::Phase::makeCpu(
+                makeCpuTask(post, nullptr)));
+            hw::runPhases(machine(), std::move(phases), publish);
+        });
+}
+
+// --------------------------------------------------------------- vision
+
+VisionDetectorNode::VisionDetectorNode(
+    ros::RosGraph &graph, const NodeConfig &config, DetectorKind kind,
+    const dnn::GpuCostParams &gpu_params)
+    : PerceptionNode(graph, "vision_detection", config), kind_(kind),
+      network_(kind == DetectorKind::Ssd512
+                   ? dnn::buildSsd512()
+                   : (kind == DetectorKind::Ssd300
+                          ? dnn::buildSsd300()
+                          : dnn::buildYolov3_416())),
+      kernels_(dnn::networkKernels(network_, gpu_params)),
+      rng_(0xde7ec7 ^ static_cast<std::uint64_t>(kind)),
+      pub_(graph.advertise<ObjectList>(topics::imageObjects))
+{
+    subscribe<world::CameraFrame>(
+        world::topics::imageRaw, 1,
+        [this](const ros::Stamped<world::CameraFrame> &msg,
+               std::function<void()> done) {
+            // Functional detection (zero virtual time).
+            auto detections = share(detectObjects(
+                msg.data, msg.header.stamp, kind_));
+
+            // Costs: preprocess / inference / postprocess.
+            beginWork();
+            dnn::preprocessFrame(network_, msg.data.width,
+                                 msg.data.height, profiler());
+            const auto pre_cost = finishWork();
+
+            beginWork();
+            dnn::postprocessFrame(network_, rng_, profiler());
+            const auto post_cost = finishWork();
+
+            hw::GpuJob job;
+            job.owner = name();
+            job.h2dBytes = dnn::networkH2dBytes(network_);
+            job.kernels = kernels_;
+            // Residual run-to-run inference jitter (clock/thermal
+            // variation real GPUs show even on fixed input sizes).
+            const double gpu_jitter = costJitter();
+            for (hw::GpuKernel &k : job.kernels)
+                k.flops *= gpu_jitter;
+            job.d2hBytes = dnn::networkD2hBytes(network_);
+
+            std::vector<hw::Phase> phases;
+            phases.push_back(hw::Phase::makeCpu(
+                makeCpuTask(pre_cost, nullptr)));
+            phases.push_back(hw::Phase::makeGpu(std::move(job)));
+            phases.push_back(hw::Phase::makeCpu(
+                makeCpuTask(post_cost, nullptr)));
+
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            hw::runPhases(
+                machine(), std::move(phases),
+                [this, detections, header, arrival,
+                 done = std::move(done)] {
+                    recordLatency(arrival);
+                    pub_.publish(header, *detections,
+                                 detections->byteSize());
+                    done();
+                });
+        });
+}
+
+// --------------------------------------------------------------- fusion
+
+RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
+                                             const NodeConfig &config,
+                                             const FusionConfig &fusion)
+    : PerceptionNode(graph, "range_vision_fusion", config),
+      fusion_(fusion),
+      pub_(graph.advertise<ObjectList>(topics::fusedObjects))
+{
+    subscribe<PoseEstimate>(
+        topics::ndtPose, 2,
+        [this](const ros::Stamped<PoseEstimate> &msg,
+               std::function<void()> done) {
+            pose_ = msg.data;
+            done();
+        });
+
+    // LiDAR clusters are cached; the *vision* callback triggers the
+    // fusion (Autoware's range_vision_fusion behaviour). The cached
+    // cluster list therefore ages up to one camera period before it
+    // reaches the tracker — a real contributor to the LiDAR object
+    // path's end-to-end latency (paper Fig. 6).
+    subscribe<ObjectList>(
+        topics::lidarObjects, 2,
+        [this](const ros::Stamped<ObjectList> &msg,
+               std::function<void()> done) {
+            lastLidar_ = msg;
+            done();
+        });
+
+    subscribe<ObjectList>(
+        topics::imageObjects, 2,
+        [this](const ros::Stamped<ObjectList> &msg,
+               std::function<void()> done) {
+            beginWork();
+            const geom::Pose2 ego =
+                pose_ ? geom::Pose2{pose_->position, pose_->yaw}
+                      : geom::Pose2{};
+            static const ObjectList empty;
+            const ObjectList &lidar =
+                lastLidar_ ? lastLidar_->data : empty;
+            auto fused = share(fuseObjects(lidar, msg.data, ego,
+                                           fusion_, profiler()));
+
+            // Lineage: the fused output derives from this camera
+            // list *and* the cached LiDAR list (paper Table IV:
+            // both computation paths cross this node).
+            ros::Header header = deriveHeader(msg.header);
+            if (lastLidar_)
+                header.origins = header.origins.merged(
+                    lastLidar_->header.origins);
+
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, fused, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *fused, fused->byteSize());
+                done();
+            });
+        });
+}
+
+// -------------------------------------------------------------- tracker
+
+ImmUkfPdaNode::ImmUkfPdaNode(ros::RosGraph &graph,
+                             const NodeConfig &config,
+                             const TrackerConfig &tracker)
+    : PerceptionNode(graph, "imm_ukf_pda_tracker", config),
+      tracker_(tracker),
+      pub_(graph.advertise<ObjectList>(topics::trackedObjects))
+{
+    subscribe<ObjectList>(
+        topics::fusedObjects, 1,
+        [this](const ros::Stamped<ObjectList> &msg,
+               std::function<void()> done) {
+            beginWork();
+            auto tracked = share(tracker_.update(
+                msg.data, msg.header.stamp, profiler()));
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, tracked, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *tracked,
+                             tracked->byteSize());
+                done();
+            });
+        });
+}
+
+// ---------------------------------------------------------------- relay
+
+TrackRelayNode::TrackRelayNode(ros::RosGraph &graph,
+                               const NodeConfig &config)
+    : PerceptionNode(graph, "ukf_track_relay", config),
+      pub_(graph.advertise<ObjectList>(topics::objects))
+{
+    subscribe<ObjectList>(
+        topics::trackedObjects, 5,
+        [this](const ros::Stamped<ObjectList> &msg,
+               std::function<void()> done) {
+            beginWork();
+            uarch::OpCounts ops;
+            ops.loads = 20 * msg.data.objects.size() + 2000;
+            ops.stores = 20 * msg.data.objects.size() + 2000;
+            ops.intAlu = 10 * msg.data.objects.size() + 1000;
+            ops.branches = 2 * msg.data.objects.size() + 500;
+            profiler().addOps(ops);
+            auto list = share(msg.data);
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, list, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *list, list->byteSize());
+                done();
+            });
+        });
+}
+
+// -------------------------------------------------------------- predict
+
+NaiveMotionPredictNode::NaiveMotionPredictNode(
+    ros::RosGraph &graph, const NodeConfig &config,
+    const PredictConfig &predict)
+    : PerceptionNode(graph, "naive_motion_prediction", config),
+      predict_(predict),
+      pub_(graph.advertise<ObjectList>(topics::predictedObjects))
+{
+    subscribe<ObjectList>(
+        topics::objects, 1,
+        [this](const ros::Stamped<ObjectList> &msg,
+               std::function<void()> done) {
+            beginWork();
+            auto predicted = share(
+                predictMotion(msg.data, predict_, profiler()));
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            finishWorkOnCpu([this, predicted, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *predicted,
+                             predicted->byteSize());
+                done();
+            });
+        });
+}
+
+// -------------------------------------------------------------- costmap
+
+CostmapGeneratorNode::CostmapGeneratorNode(ros::RosGraph &graph,
+                                           const NodeConfig &config,
+                                           const CostmapConfig &costmap)
+    : PerceptionNode(graph, "costmap_generator", config),
+      costmap_(costmap), pointsLatency_(1u << 15),
+      pub_(graph.advertise<Costmap>(topics::costmap))
+{
+    subscribe<PoseEstimate>(
+        topics::ndtPose, 2,
+        [this](const ros::Stamped<PoseEstimate> &msg,
+               std::function<void()> done) {
+            pose_ = msg.data;
+            done();
+        });
+
+    // Object callback: the latency-heavy one (Fig. 5's
+    // costmap_generator_obj).
+    subscribe<ObjectList>(
+        topics::predictedObjects, 1,
+        [this](const ros::Stamped<ObjectList> &msg,
+               std::function<void()> done) {
+            beginWork();
+            const geom::Pose2 ego =
+                pose_ ? geom::Pose2{pose_->position, pose_->yaw}
+                      : geom::Pose2{};
+            auto map = share(generateObjectCostmap(
+                msg.data, ego, costmap_, profiler()));
+            const auto cost = finishWork();
+            auto task = makeCpuTask(cost, nullptr);
+            task.owner = "costmap_generator_obj";
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            task.onComplete = [this, map, header, arrival,
+                               done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *map, map->byteSize());
+                done();
+            };
+            machine().cpu().submit(std::move(task));
+        });
+
+    // Points callback (costmap_generator_points).
+    subscribe<pc::PointCloud>(
+        topics::pointsNoGround, 1,
+        [this](const ros::Stamped<pc::PointCloud> &msg,
+               std::function<void()> done) {
+            beginWork();
+            const geom::Pose2 ego =
+                pose_ ? geom::Pose2{pose_->position, pose_->yaw}
+                      : geom::Pose2{};
+            auto map = share(generatePointsCostmap(
+                msg.data, ego, costmap_, profiler()));
+            const auto cost = finishWork();
+            auto task = makeCpuTask(cost, nullptr);
+            task.owner = "costmap_generator_points";
+            const auto header = deriveHeader(msg.header);
+            const auto arrival = this->graph().eventQueue().now();
+            task.onComplete = [this, map, header, arrival,
+                               done = std::move(done)] {
+                const sim::Tick now =
+                    this->graph().eventQueue().now();
+                if (now >= arrival)
+                    pointsLatency_.add(
+                        sim::ticksToMs(now - arrival));
+                pub_.publish(header, *map, map->byteSize());
+                done();
+            };
+            machine().cpu().submit(std::move(task));
+        });
+}
+
+} // namespace av::perception

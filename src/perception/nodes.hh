@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The Autoware-equivalent perception nodes (Table I of the paper),
+ * each wiring one algorithm into the middleware + machine:
+ * subscriptions, functional execution, simulated cost, publication.
+ *
+ * Topic names follow the paper's Table IV.
+ */
+
+#ifndef AVSCOPE_PERCEPTION_NODES_HH
+#define AVSCOPE_PERCEPTION_NODES_HH
+
+#include <memory>
+#include <optional>
+
+#include "dnn/cost.hh"
+#include "dnn/network.hh"
+#include "perception/costmap.hh"
+#include "perception/euclidean_cluster.hh"
+#include "perception/fusion.hh"
+#include "perception/imm_ukf_pda.hh"
+#include "perception/motion_predict.hh"
+#include "perception/ndt.hh"
+#include "perception/node_base.hh"
+#include "perception/objects.hh"
+#include "perception/ray_ground_filter.hh"
+#include "perception/vision_model.hh"
+#include "pointcloud/voxel_grid.hh"
+#include "world/sensors.hh"
+
+namespace av::perception {
+
+/** Internal topic names (paper Table IV spelling). */
+namespace topics {
+inline constexpr const char *filteredPoints = "/filtered_points";
+inline constexpr const char *ndtPose = "/ndt_pose";
+inline constexpr const char *pointsNoGround = "/points_no_ground";
+inline constexpr const char *pointsGround = "/points_ground";
+inline constexpr const char *lidarObjects =
+    "/detection/lidar_detector/objects";
+inline constexpr const char *imageObjects =
+    "/detection/image_detector/objects";
+inline constexpr const char *fusedObjects =
+    "/detection/fusion_tools/objects";
+inline constexpr const char *trackedObjects =
+    "/detection/object_tracker/objects";
+inline constexpr const char *objects = "/detection/objects";
+inline constexpr const char *predictedObjects =
+    "/prediction/motion_predictor/objects";
+inline constexpr const char *costmap = "/semantics/costmap";
+} // namespace topics
+
+/**
+ * voxel_grid_filter: downsample /points_raw -> /filtered_points.
+ */
+class VoxelGridFilterNode : public PerceptionNode
+{
+  public:
+    VoxelGridFilterNode(ros::RosGraph &graph, const NodeConfig &config,
+                        double leaf = 1.5);
+
+  private:
+    double leaf_;
+    ros::Publisher<pc::PointCloud> pub_;
+};
+
+/**
+ * ndt_matching: localize /filtered_points against the map ->
+ * /ndt_pose. Initializes from the first GNSS fix plus the
+ * operator-provided initial heading (Autoware's rviz initial pose).
+ */
+class NdtMatchingNode : public PerceptionNode
+{
+  public:
+    /**
+     * @param initial_pose operator-provided initial pose (Autoware's
+     *        rviz "2D Pose Estimate"); when absent, initialization
+     *        falls back to the first GNSS fix with yaw 0
+     */
+    NdtMatchingNode(ros::RosGraph &graph, const NodeConfig &config,
+                    const pc::PointCloud &map,
+                    std::optional<geom::Pose2> initial_pose = {},
+                    const NdtConfig &ndt = NdtConfig());
+
+    /** Latest pose estimate (for tests / examples). */
+    const std::optional<PoseEstimate> &lastPose() const
+    {
+        return lastPose_;
+    }
+
+  private:
+    NdtMatcher matcher_;
+    std::optional<geom::Pose2> initialPose_;
+    std::optional<geom::Vec3> gnssInit_;
+    std::optional<PoseEstimate> lastPose_;
+    geom::Vec2 velocity_;
+    double yawRate_ = 0.0;
+    /** Latest IMU/odometry sample (paper SII-A: the IMU anticipates
+     *  where subsequent positions are likely to be). */
+    std::optional<world::ImuSample> imu_;
+    sim::Tick lastStamp_ = 0;
+    ros::Publisher<PoseEstimate> pub_;
+};
+
+/**
+ * ray_ground_filter: /points_raw -> /points_no_ground (+ ground).
+ */
+class RayGroundFilterNode : public PerceptionNode
+{
+  public:
+    RayGroundFilterNode(ros::RosGraph &graph,
+                        const NodeConfig &config,
+                        const RayGroundConfig &filter =
+                            RayGroundConfig());
+
+  private:
+    RayGroundConfig filter_;
+    ros::Publisher<pc::PointCloud> pubNoGround_;
+    ros::Publisher<pc::PointCloud> pubGround_;
+};
+
+/**
+ * euclidean_cluster: /points_no_ground -> LiDAR objects, with the
+ * GPU-accelerated nearest-neighbour stage of Autoware's
+ * lidar_euclidean_cluster_detect.
+ */
+class EuclideanClusterNode : public PerceptionNode
+{
+  public:
+    EuclideanClusterNode(ros::RosGraph &graph,
+                         const NodeConfig &config,
+                         const ClusterConfig &cluster =
+                             ClusterConfig(),
+                         bool use_gpu = true);
+
+  private:
+    ClusterConfig cluster_;
+    bool useGpu_;
+    std::optional<PoseEstimate> pose_;
+    ros::Publisher<ObjectList> pub_;
+};
+
+/**
+ * vision_detection: /image_raw -> image objects. CPU preprocess,
+ * GPU inference (layer kernels), CPU postprocess (the SSD sort).
+ */
+class VisionDetectorNode : public PerceptionNode
+{
+  public:
+    VisionDetectorNode(ros::RosGraph &graph, const NodeConfig &config,
+                       DetectorKind kind,
+                       const dnn::GpuCostParams &gpu_params);
+
+    DetectorKind kind() const { return kind_; }
+    const dnn::NetworkSpec &network() const { return network_; }
+
+  private:
+    DetectorKind kind_;
+    dnn::NetworkSpec network_;
+    std::vector<hw::GpuKernel> kernels_;
+    util::Rng rng_;
+    ros::Publisher<ObjectList> pub_;
+};
+
+/**
+ * range_vision_fusion: LiDAR objects (trigger) + cached image
+ * objects -> fused objects carrying both sensor origins.
+ */
+class RangeVisionFusionNode : public PerceptionNode
+{
+  public:
+    RangeVisionFusionNode(ros::RosGraph &graph,
+                          const NodeConfig &config,
+                          const FusionConfig &fusion =
+                              FusionConfig());
+
+  private:
+    FusionConfig fusion_;
+    std::optional<ros::Stamped<ObjectList>> lastLidar_;
+    std::optional<PoseEstimate> pose_;
+    ros::Publisher<ObjectList> pub_;
+};
+
+/**
+ * imm_ukf_pda_tracker: fused objects -> tracked objects.
+ */
+class ImmUkfPdaNode : public PerceptionNode
+{
+  public:
+    ImmUkfPdaNode(ros::RosGraph &graph, const NodeConfig &config,
+                  const TrackerConfig &tracker = TrackerConfig());
+
+    const ImmUkfPdaTracker &tracker() const { return tracker_; }
+
+  private:
+    ImmUkfPdaTracker tracker_;
+    ros::Publisher<ObjectList> pub_;
+};
+
+/**
+ * ukf_track_relay: republishes tracked objects on /detection/objects
+ * (present in the paper's computation paths; adds one transport
+ * hop).
+ */
+class TrackRelayNode : public PerceptionNode
+{
+  public:
+    TrackRelayNode(ros::RosGraph &graph, const NodeConfig &config);
+
+  private:
+    ros::Publisher<ObjectList> pub_;
+};
+
+/**
+ * naive_motion_predict: tracked objects -> objects with predicted
+ * paths.
+ */
+class NaiveMotionPredictNode : public PerceptionNode
+{
+  public:
+    NaiveMotionPredictNode(ros::RosGraph &graph,
+                           const NodeConfig &config,
+                           const PredictConfig &predict =
+                               PredictConfig());
+
+  private:
+    PredictConfig predict_;
+    ros::Publisher<ObjectList> pub_;
+};
+
+/**
+ * costmap_generator: two callbacks, profiled separately as the
+ * paper does (costmap_generator_obj / costmap_generator_points).
+ * The object callback owns the node's main latency series; the
+ * points callback has its own.
+ */
+class CostmapGeneratorNode : public PerceptionNode
+{
+  public:
+    CostmapGeneratorNode(ros::RosGraph &graph,
+                         const NodeConfig &config,
+                         const CostmapConfig &costmap =
+                             CostmapConfig());
+
+    /** Latency of the points callback (obj is latencySeries()). */
+    const util::SampleSeries &pointsLatencySeries() const
+    {
+        return pointsLatency_;
+    }
+
+  private:
+    CostmapConfig costmap_;
+    std::optional<PoseEstimate> pose_;
+    util::SampleSeries pointsLatency_;
+    ros::Publisher<Costmap> pub_;
+};
+
+} // namespace av::perception
+
+#endif // AVSCOPE_PERCEPTION_NODES_HH

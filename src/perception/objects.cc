@@ -1,0 +1,18 @@
+#include "perception/objects.hh"
+
+namespace av::perception {
+
+const char *
+labelName(Label label)
+{
+    switch (label) {
+      case Label::Unknown: return "unknown";
+      case Label::Car: return "car";
+      case Label::Truck: return "truck";
+      case Label::Pedestrian: return "pedestrian";
+      case Label::Cyclist: return "cyclist";
+    }
+    return "?";
+}
+
+} // namespace av::perception

@@ -1,0 +1,133 @@
+#include "perception/vision_model.hh"
+
+#include <cmath>
+
+#include "util/random.hh"
+
+namespace av::perception {
+
+const char *
+detectorName(DetectorKind kind)
+{
+    switch (kind) {
+      case DetectorKind::Ssd512: return "SSD512";
+      case DetectorKind::Ssd300: return "SSD300";
+      case DetectorKind::Yolov3: return "YOLOv3";
+    }
+    return "?";
+}
+
+DetectorQuality
+qualityOf(DetectorKind kind)
+{
+    DetectorQuality q;
+    switch (kind) {
+      case DetectorKind::Ssd512:
+        // Highest input resolution: best small-object recall.
+        q.recallBase = 0.96;
+        q.heightPx50 = 14.0;
+        q.classAccuracy = 0.92;
+        break;
+      case DetectorKind::Ssd300:
+        q.recallBase = 0.92;
+        q.heightPx50 = 26.0;
+        q.classAccuracy = 0.90;
+        break;
+      case DetectorKind::Yolov3:
+        q.recallBase = 0.94;
+        q.heightPx50 = 19.0;
+        q.classAccuracy = 0.91;
+        break;
+    }
+    return q;
+}
+
+namespace {
+
+Label
+classify(world::ActorClass cls)
+{
+    switch (cls) {
+      case world::ActorClass::Car: return Label::Car;
+      case world::ActorClass::Truck: return Label::Truck;
+      case world::ActorClass::Pedestrian: return Label::Pedestrian;
+      case world::ActorClass::Cyclist: return Label::Cyclist;
+    }
+    return Label::Unknown;
+}
+
+Label
+confuse(Label truth, util::Rng &rng)
+{
+    // Misclassification swaps within coarse categories.
+    switch (truth) {
+      case Label::Car:
+        return rng.bernoulli(0.7) ? Label::Truck : Label::Unknown;
+      case Label::Truck:
+        return Label::Car;
+      case Label::Pedestrian:
+        return rng.bernoulli(0.6) ? Label::Cyclist
+                                  : Label::Unknown;
+      case Label::Cyclist:
+        return Label::Pedestrian;
+      default:
+        return Label::Unknown;
+    }
+}
+
+} // namespace
+
+ObjectList
+detectObjects(const world::CameraFrame &frame, sim::Tick t,
+              DetectorKind kind)
+{
+    const DetectorQuality q = qualityOf(kind);
+    ObjectList out;
+
+    for (const world::VisibleObject &vo : frame.truth) {
+        util::Rng rng(static_cast<std::uint64_t>(t) * 1000003u +
+                      vo.truthId * 7919u +
+                      static_cast<std::uint64_t>(kind) * 104729u);
+        // Recall: logistic in apparent size, scaled by occlusion.
+        const double size_term =
+            1.0 /
+            (1.0 + std::exp(-(vo.imageHeightPx - q.heightPx50) /
+                            (0.35 * q.heightPx50)));
+        const double p_detect =
+            q.recallBase * size_term * (1.0 - 0.8 * vo.occlusion);
+        if (!rng.bernoulli(p_detect))
+            continue;
+
+        DetectedObject obj;
+        const Label truth_label = classify(vo.cls);
+        obj.label = rng.bernoulli(q.classAccuracy)
+                        ? truth_label
+                        : confuse(truth_label, rng);
+        obj.confidence =
+            std::min(0.99, 0.4 + 0.6 * size_term -
+                               0.3 * vo.occlusion +
+                               rng.gaussian(0.0, 0.05));
+        obj.bearing =
+            vo.bearing + rng.gaussian(0.0, q.bearingNoise);
+        obj.rangeEstimate =
+            vo.range * (1.0 + rng.gaussian(0.0, q.sizeNoise));
+        obj.height = 1.6 * (1.0 + rng.gaussian(0.0, q.sizeNoise));
+        obj.truthId = vo.truthId;
+        out.objects.push_back(obj);
+    }
+
+    // Occasional false positive.
+    util::Rng fp_rng(static_cast<std::uint64_t>(t) * 60013u +
+                     static_cast<std::uint64_t>(kind));
+    if (fp_rng.bernoulli(q.falsePositiveRate)) {
+        DetectedObject ghost;
+        ghost.label = Label::Car;
+        ghost.confidence = fp_rng.uniform(0.3, 0.55);
+        ghost.bearing = fp_rng.uniform(-0.6, 0.6);
+        ghost.rangeEstimate = fp_rng.uniform(15.0, 50.0);
+        out.objects.push_back(ghost);
+    }
+    return out;
+}
+
+} // namespace av::perception

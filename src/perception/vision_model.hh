@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional detection model for the vision detectors.
+ *
+ * The DNN's *cost* comes from dnn::networkKernels / pre/postprocess;
+ * its *output* is synthesized here from the camera frame's
+ * ground-truth visible objects using per-network detection quality
+ * (recall vs apparent size, occlusion sensitivity, classification
+ * accuracy, box noise). This preserves the property the paper's
+ * pipeline depends on: detector choice changes both load and what
+ * the downstream fusion/tracking nodes have to chew on.
+ */
+
+#ifndef AVSCOPE_PERCEPTION_VISION_MODEL_HH
+#define AVSCOPE_PERCEPTION_VISION_MODEL_HH
+
+#include <string>
+
+#include "perception/objects.hh"
+#include "world/sensors.hh"
+
+namespace av::perception {
+
+/** Detector identity (selects network + quality + cost). */
+enum class DetectorKind {
+    Ssd512,
+    Ssd300,
+    Yolov3,
+};
+
+const char *detectorName(DetectorKind kind);
+
+/** Detection-quality parameters of one network. */
+struct DetectorQuality
+{
+    double recallBase = 0.95;  ///< for large, unoccluded objects
+    double heightPx50 = 20.0;  ///< apparent size at 50% recall
+    double classAccuracy = 0.9;
+    double bearingNoise = 0.004; ///< radians
+    double sizeNoise = 0.08;     ///< relative
+    double falsePositiveRate = 0.05; ///< per frame
+};
+
+/** Published quality presets. */
+DetectorQuality qualityOf(DetectorKind kind);
+
+/**
+ * Produce the detection list for one camera frame.
+ * Deterministic in (frame contents, t, kind).
+ *
+ * Output objects are in *bearing space*: bearing, rangeEstimate,
+ * label, confidence; fusion later grounds them in the world.
+ */
+ObjectList detectObjects(const world::CameraFrame &frame,
+                         sim::Tick t, DetectorKind kind);
+
+} // namespace av::perception
+
+#endif // AVSCOPE_PERCEPTION_VISION_MODEL_HH

@@ -1,0 +1,167 @@
+#include "planning/local_planner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace av::plan {
+
+double
+costmapAt(const perception::Costmap &costmap, const geom::Vec2 &world)
+{
+    if (costmap.cost.empty())
+        return 0.0;
+    const double gx = (world.x - costmap.origin.x) /
+                      costmap.resolution;
+    const double gy = (world.y - costmap.origin.y) /
+                      costmap.resolution;
+    if (gx < 0 || gy < 0 ||
+        gx >= static_cast<double>(costmap.cellsX) ||
+        gy >= static_cast<double>(costmap.cellsY))
+        return 0.0;
+    return costmap.at(static_cast<std::uint32_t>(gx),
+                      static_cast<std::uint32_t>(gy));
+}
+
+namespace {
+
+/** Index of the global waypoint nearest to @p p, searching ahead. */
+std::size_t
+nearestIndex(const std::vector<geom::Vec2> &path, const geom::Vec2 &p)
+{
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        const double d = (path[i] - p).squaredNorm();
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+Trajectory
+planLocal(const std::vector<geom::Vec2> &global, const geom::Pose2 &ego,
+          const perception::Costmap &costmap,
+          const LocalPlannerConfig &config)
+{
+    AV_ASSERT(config.rollouts >= 1, "need at least one rollout");
+    Trajectory best;
+    best.cost = std::numeric_limits<double>::infinity();
+    if (global.size() < 2)
+        return best;
+
+    const std::size_t start = nearestIndex(global, ego.p);
+    const auto steps = static_cast<std::size_t>(config.horizon /
+                                                config.step);
+    const int half =
+        static_cast<int>(config.rollouts) / 2;
+
+    for (int r = -half; r <= half; ++r) {
+        const double offset =
+            half > 0 ? config.maxLateralOffset * r / half : 0.0;
+        Trajectory candidate;
+        candidate.rolloutIndex = r;
+        double obstacle_cost = 0.0;
+        bool blocked = false;
+        double block_distance = config.horizon;
+
+        for (std::size_t s = 0; s < steps; ++s) {
+            const std::size_t i = (start + s) % global.size();
+            const std::size_t j = (i + 1) % global.size();
+            const geom::Vec2 dir =
+                (global[j] - global[i]).normalized();
+            const geom::Vec2 normal{-dir.y, dir.x};
+            const geom::Vec2 p = global[i] + normal * offset;
+            const double c = costmapAt(costmap, p);
+            obstacle_cost += c;
+            if (c >= config.blockThreshold && !blocked) {
+                blocked = true;
+                block_distance =
+                    static_cast<double>(s) * config.step;
+            }
+            candidate.points.push_back(p);
+        }
+
+        candidate.cost =
+            config.obstacleCostWeight * obstacle_cost +
+            config.offsetCostWeight * std::fabs(offset) +
+            (blocked ? 1e3 - block_distance : 0.0);
+
+        // Speed profile: cruise, slow for curvature (comfort
+        // lateral acceleration), slow through soft cost, stop short
+        // of a blocking cell.
+        candidate.speeds.assign(candidate.points.size(),
+                                config.cruiseSpeed);
+        const std::size_t w = 3; // curvature window (points)
+        for (std::size_t s = 0; s + 2 * w < candidate.points.size();
+             ++s) {
+            const geom::Vec2 d0 = (candidate.points[s + w] -
+                                   candidate.points[s]);
+            const geom::Vec2 d1 = (candidate.points[s + 2 * w] -
+                                   candidate.points[s + w]);
+            const double arc = d0.norm() + d1.norm();
+            if (arc < 1e-6)
+                continue;
+            const double dyaw = std::fabs(geom::normalizeAngle(
+                d1.heading() - d0.heading()));
+            const double kappa = dyaw / arc;
+            if (kappa < 1e-4)
+                continue;
+            const double v_max =
+                std::sqrt(config.maxLateralAccel / kappa);
+            // Brake *into* the curve: apply to the window and a
+            // few points before it.
+            const std::size_t from = s > 2 * w ? s - 2 * w : 0;
+            for (std::size_t k = from; k <= s + 2 * w; ++k)
+                candidate.speeds[k] =
+                    std::min(candidate.speeds[k], v_max);
+        }
+        for (std::size_t s = 0; s < candidate.points.size(); ++s) {
+            const double c =
+                costmapAt(costmap, candidate.points[s]);
+            if (c > config.slowThreshold)
+                candidate.speeds[s] =
+                    config.cruiseSpeed *
+                    std::max(0.2, 1.0 - c);
+            if (blocked) {
+                const double dist =
+                    static_cast<double>(s) * config.step;
+                if (dist >= block_distance - 4.0)
+                    candidate.speeds[s] = 0.0;
+                else
+                    candidate.speeds[s] = std::min(
+                        candidate.speeds[s],
+                        config.cruiseSpeed *
+                            (block_distance - dist) /
+                            config.horizon);
+            }
+        }
+
+        // Backward pass: enforce a comfortable deceleration so the
+        // vehicle brakes early enough for curves and stops
+        // (v_i^2 <= v_{i+1}^2 + 2 a ds).
+        const double decel = 2.5;
+        for (std::size_t s = candidate.speeds.size(); s-- > 1;) {
+            const double ds = (candidate.points[s] -
+                               candidate.points[s - 1])
+                                  .norm();
+            const double allowed = std::sqrt(
+                candidate.speeds[s] * candidate.speeds[s] +
+                2.0 * decel * ds);
+            candidate.speeds[s - 1] =
+                std::min(candidate.speeds[s - 1], allowed);
+        }
+
+        if (candidate.cost < best.cost)
+            best = std::move(candidate);
+    }
+    return best;
+}
+
+} // namespace av::plan

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Local (rollout) planner — Autoware's op_local_planner: generate
+ * candidate trajectories as lateral offsets of the global path,
+ * cost them against the perception costmap, pick the cheapest, and
+ * attach target speeds (slowing for obstacles ahead).
+ */
+
+#ifndef AVSCOPE_PLANNING_LOCAL_PLANNER_HH
+#define AVSCOPE_PLANNING_LOCAL_PLANNER_HH
+
+#include <vector>
+
+#include "geom/pose.hh"
+#include "perception/objects.hh"
+
+namespace av::plan {
+
+/** A drivable local trajectory with speed annotations. */
+struct Trajectory
+{
+    std::vector<geom::Vec2> points;
+    std::vector<double> speeds; ///< target speed per point (m/s)
+    double cost = 0.0;          ///< planner cost of this rollout
+    int rolloutIndex = 0;       ///< which lateral candidate won
+};
+
+/** Rollout-planner parameters (Autoware-flavoured). */
+struct LocalPlannerConfig
+{
+    std::uint32_t rollouts = 7;     ///< candidate count (odd)
+    double maxLateralOffset = 2.4;  ///< outermost candidate (m)
+    double horizon = 25.0;          ///< rollout length (m)
+    double step = 1.0;              ///< waypoint spacing (m)
+    double cruiseSpeed = 8.0;       ///< m/s
+    double obstacleCostWeight = 12.0;
+    double offsetCostWeight = 0.25;
+    /** Costmap value above which a cell blocks (hard stop). */
+    double blockThreshold = 0.9;
+    double slowThreshold = 0.3;
+    /** Comfort lateral acceleration bound: v <= sqrt(a/kappa). */
+    double maxLateralAccel = 2.0;
+};
+
+/**
+ * Plan one local trajectory.
+ *
+ * @param global  dense global path (world frame)
+ * @param ego     current pose
+ * @param costmap latest perception costmap (may be empty)
+ */
+Trajectory planLocal(const std::vector<geom::Vec2> &global,
+                     const geom::Pose2 &ego,
+                     const perception::Costmap &costmap,
+                     const LocalPlannerConfig &config =
+                         LocalPlannerConfig());
+
+/** Sample the costmap at a world position (0 outside/empty). */
+double costmapAt(const perception::Costmap &costmap,
+                 const geom::Vec2 &world);
+
+} // namespace av::plan
+
+#endif // AVSCOPE_PLANNING_LOCAL_PLANNER_HH

@@ -1,0 +1,89 @@
+#include "planning/pure_pursuit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace av::plan {
+
+Twist
+purePursuit(const Trajectory &trajectory, const geom::Pose2 &ego,
+            double current_speed, const PurePursuitConfig &config)
+{
+    Twist out;
+    if (trajectory.points.empty())
+        return out;
+
+    const double lookahead =
+        std::max(config.minLookahead,
+                 config.lookaheadGain * current_speed);
+
+    // First trajectory point at or beyond the lookahead distance
+    // that lies ahead of the vehicle.
+    std::size_t target = trajectory.points.size() - 1;
+    double target_speed = trajectory.speeds.empty()
+                              ? 0.0
+                              : trajectory.speeds.back();
+    for (std::size_t i = 0; i < trajectory.points.size(); ++i) {
+        const geom::Vec2 local =
+            ego.toLocal(trajectory.points[i]);
+        if (local.x <= 0.0)
+            continue; // behind us
+        if (local.norm() >= lookahead) {
+            target = i;
+            if (i < trajectory.speeds.size())
+                target_speed = trajectory.speeds[i];
+            break;
+        }
+    }
+
+    const geom::Vec2 local = ego.toLocal(trajectory.points[target]);
+    const double d2 = local.squaredNorm();
+    if (d2 < 1e-6)
+        return out;
+
+    // Pure pursuit curvature: k = 2*y / L^2 in the vehicle frame.
+    const double curvature = 2.0 * local.y / d2;
+    // Speed: the most conservative annotation between here and the
+    // lookahead target (so short-notice corners are respected).
+    double speed = target_speed;
+    for (std::size_t i = 0;
+         i <= target && i < trajectory.speeds.size(); ++i)
+        speed = std::min(speed, trajectory.speeds[i]);
+    // While badly misaligned with the path (mid-corner), hold a
+    // maneuvering speed instead of accelerating through the swing.
+    const double bearing = std::atan2(local.y, local.x);
+    if (std::fabs(bearing) > 0.3)
+        speed = std::min(speed,
+                         std::max(1.5, 3.0 * std::cos(bearing)));
+    out.linear = std::max(0.0, speed);
+    out.angular = std::clamp(curvature * out.linear,
+                             -config.maxAngular, config.maxAngular);
+    return out;
+}
+
+Twist
+TwistFilter::apply(const Twist &command, double dt)
+{
+    dt = std::max(dt, 1e-3);
+    // Low-pass blend.
+    Twist blended;
+    blended.linear = state_.linear +
+                     config_.lowpassAlpha *
+                         (command.linear - state_.linear);
+    blended.angular = state_.angular +
+                      config_.lowpassAlpha *
+                          (command.angular - state_.angular);
+    // Rate limits.
+    const double max_dv = config_.maxLinearAccel * dt;
+    const double max_dw = config_.maxAngularRate * dt;
+    blended.linear =
+        std::clamp(blended.linear, state_.linear - max_dv,
+                   state_.linear + max_dv);
+    blended.angular =
+        std::clamp(blended.angular, state_.angular - max_dw,
+                   state_.angular + max_dw);
+    state_ = blended;
+    return blended;
+}
+
+} // namespace av::plan

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Pure pursuit path tracking + twist filtering — Autoware's
+ * pure_pursuit and twist_filter nodes (paper §II-B "Motion").
+ */
+
+#ifndef AVSCOPE_PLANNING_PURE_PURSUIT_HH
+#define AVSCOPE_PLANNING_PURE_PURSUIT_HH
+
+#include "geom/pose.hh"
+#include "planning/local_planner.hh"
+
+namespace av::plan {
+
+/** Velocity command (linear + angular), a geometry_msgs::Twist. */
+struct Twist
+{
+    double linear = 0.0;  ///< m/s
+    double angular = 0.0; ///< rad/s
+};
+
+/** Pure-pursuit parameters. */
+struct PurePursuitConfig
+{
+    double lookaheadGain = 1.2;  ///< lookahead = gain * speed
+    double minLookahead = 4.0;   ///< meters
+    double maxAngular = 0.8;     ///< rad/s clamp
+};
+
+/**
+ * Compute the twist that steers @p ego toward the trajectory.
+ * Returns a zero twist for an empty/exhausted trajectory.
+ */
+Twist purePursuit(const Trajectory &trajectory, const geom::Pose2 &ego,
+                  double current_speed,
+                  const PurePursuitConfig &config =
+                      PurePursuitConfig());
+
+/** twist_filter parameters (low-pass + rate limits). */
+struct TwistFilterConfig
+{
+    double lowpassAlpha = 0.4;    ///< EWMA blend toward the command
+    double maxLinearAccel = 2.5;  ///< m/s per second
+    double maxAngularRate = 1.5;  ///< rad/s per second
+};
+
+/**
+ * The low-pass / rate-limit filter Autoware applies before the
+ * drive-by-wire interface. Stateful: feed commands in time order.
+ */
+class TwistFilter
+{
+  public:
+    explicit TwistFilter(const TwistFilterConfig &config =
+                             TwistFilterConfig())
+        : config_(config)
+    {}
+
+    /**
+     * Filter one command.
+     * @param dt seconds since the previous command
+     */
+    Twist apply(const Twist &command, double dt);
+
+    const Twist &state() const { return state_; }
+    void reset() { state_ = Twist{}; }
+
+  private:
+    TwistFilterConfig config_;
+    Twist state_;
+};
+
+} // namespace av::plan
+
+#endif // AVSCOPE_PLANNING_PURE_PURSUIT_HH

@@ -1,0 +1,152 @@
+#include "planning/route.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace av::plan {
+
+std::uint32_t
+RouteNetwork::addNode(const geom::Vec2 &position)
+{
+    nodes_.push_back(Node{position, {}});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void
+RouteNetwork::addEdge(std::uint32_t a, std::uint32_t b)
+{
+    AV_ASSERT(a < nodes_.size() && b < nodes_.size(),
+              "edge references unknown node");
+    nodes_[a].out.push_back(b);
+}
+
+std::uint32_t
+RouteNetwork::nearestNode(const geom::Vec2 &p) const
+{
+    AV_ASSERT(!nodes_.empty(), "empty route network");
+    std::uint32_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        const double d = (nodes_[i].position - p).squaredNorm();
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<geom::Vec2>
+RouteNetwork::plan(std::uint32_t from, std::uint32_t to) const
+{
+    AV_ASSERT(from < nodes_.size() && to < nodes_.size(),
+              "plan references unknown node");
+    const auto heuristic = [&](std::uint32_t n) {
+        return (nodes_[n].position - nodes_[to].position).norm();
+    };
+
+    struct Entry
+    {
+        double f;
+        std::uint32_t node;
+        bool operator>(const Entry &o) const { return f > o.f; }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        open;
+    std::vector<double> g(nodes_.size(),
+                          std::numeric_limits<double>::infinity());
+    std::vector<std::int64_t> parent(nodes_.size(), -1);
+
+    g[from] = 0.0;
+    open.push({heuristic(from), from});
+    while (!open.empty()) {
+        const Entry e = open.top();
+        open.pop();
+        const std::uint32_t n = e.node;
+        if (n == to)
+            break;
+        if (e.f > g[n] + heuristic(n) + 1e-9)
+            continue; // stale entry
+        for (const std::uint32_t succ : nodes_[n].out) {
+            const double cost =
+                (nodes_[succ].position - nodes_[n].position).norm();
+            if (g[n] + cost < g[succ]) {
+                g[succ] = g[n] + cost;
+                parent[succ] = n;
+                open.push({g[succ] + heuristic(succ), succ});
+            }
+        }
+    }
+
+    std::vector<geom::Vec2> path;
+    if (from != to && parent[to] < 0)
+        return path; // unreachable
+    std::int64_t cur = to;
+    while (cur >= 0) {
+        path.push_back(nodes_[static_cast<std::size_t>(cur)]
+                           .position);
+        if (cur == static_cast<std::int64_t>(from))
+            break;
+        cur = parent[static_cast<std::size_t>(cur)];
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<geom::Vec2>
+RouteNetwork::plan(const geom::Vec2 &from, const geom::Vec2 &to) const
+{
+    return plan(nearestNode(from), nearestNode(to));
+}
+
+RouteNetwork
+RouteNetwork::fromLoop(const std::vector<geom::Vec2> &loop,
+                       double spacing)
+{
+    AV_ASSERT(loop.size() >= 3, "loop needs at least three corners");
+    AV_ASSERT(spacing > 0.1, "spacing too small");
+    RouteNetwork net;
+    std::vector<std::uint32_t> ids;
+    for (std::size_t i = 0; i < loop.size(); ++i) {
+        const geom::Vec2 a = loop[i];
+        const geom::Vec2 b = loop[(i + 1) % loop.size()];
+        const double len = (b - a).norm();
+        const auto steps = std::max<std::size_t>(
+            1, static_cast<std::size_t>(len / spacing));
+        for (std::size_t s = 0; s < steps; ++s) {
+            const double frac =
+                static_cast<double>(s) / static_cast<double>(steps);
+            ids.push_back(net.addNode(a + (b - a) * frac));
+        }
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        net.addEdge(ids[i], ids[(i + 1) % ids.size()]);
+    return net;
+}
+
+std::vector<geom::Vec2>
+densifyPath(const std::vector<geom::Vec2> &path, double spacing)
+{
+    std::vector<geom::Vec2> out;
+    if (path.empty())
+        return out;
+    out.push_back(path.front());
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const geom::Vec2 a = path[i - 1];
+        const geom::Vec2 b = path[i];
+        const double len = (b - a).norm();
+        const auto steps = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::ceil(len / spacing)));
+        for (std::size_t s = 1; s <= steps; ++s) {
+            out.push_back(a + (b - a) * (static_cast<double>(s) /
+                                         static_cast<double>(steps)));
+        }
+    }
+    return out;
+}
+
+} // namespace av::plan

@@ -1,0 +1,24 @@
+#include "planning/vehicle.hh"
+
+#include <cmath>
+
+namespace av::plan {
+
+void
+VehicleModel::step(const Twist &command, double dt)
+{
+    // First-order lag toward the commanded velocities.
+    const double blend = tau_ > 0.0
+                             ? 1.0 - std::exp(-dt / tau_)
+                             : 1.0;
+    speed_ += blend * (command.linear - speed_);
+    yawRate_ += blend * (command.angular - yawRate_);
+
+    // Midpoint integration of the unicycle.
+    const double mid_yaw = pose_.yaw + 0.5 * yawRate_ * dt;
+    pose_.p.x += speed_ * std::cos(mid_yaw) * dt;
+    pose_.p.y += speed_ * std::sin(mid_yaw) * dt;
+    pose_.yaw = geom::normalizeAngle(pose_.yaw + yawRate_ * dt);
+}
+
+} // namespace av::plan

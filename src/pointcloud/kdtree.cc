@@ -1,0 +1,204 @@
+#include "pointcloud/kdtree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace av::pc {
+
+namespace {
+
+/** Static branch-site ids for the predictor model. */
+enum Site : std::uint64_t {
+    siteDescend = 0x51001,
+    siteInRadius = 0x51002,
+    siteCrossPlane = 0x51003,
+    siteNearerChild = 0x51004,
+};
+
+/** Per-visited-node abstract op cost of a traversal step. */
+const uarch::OpCounts stepOps{/*loads=*/12, /*stores=*/5,
+                              /*branches=*/3, /*intAlu=*/3,
+                              /*fpAlu=*/6, /*fpDiv=*/0, /*simd=*/0,
+                              /*other=*/1};
+
+} // namespace
+
+void
+KdTree::build(const PointCloud &cloud, uarch::KernelProfiler prof)
+{
+    cloud_ = &cloud;
+    nodes_.clear();
+    nodes_.reserve(cloud.size());
+    root_ = -1;
+    if (cloud.empty())
+        return;
+
+    std::vector<std::uint32_t> idx(cloud.size());
+    for (std::uint32_t i = 0; i < cloud.size(); ++i)
+        idx[i] = i;
+    root_ = buildRange(idx, 0, idx.size(), 0, prof);
+
+    // Build cost: ~n log n median partitions, each touching the
+    // index array and the point data.
+    const std::uint64_t n = cloud.size();
+    const std::uint64_t logn =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::ceil(std::log2(double(n)))));
+    uarch::OpCounts build_ops;
+    build_ops.loads = 4 * n * logn;
+    build_ops.stores = 2 * n * logn;
+    build_ops.branches = 2 * n * logn;
+    build_ops.intAlu = 3 * n * logn;
+    build_ops.fpAlu = n * logn;
+    prof.addOps(build_ops);
+    prof.bulkBranches(2 * n * logn);
+}
+
+std::int32_t
+KdTree::buildRange(std::vector<std::uint32_t> &idx, std::size_t lo,
+                   std::size_t hi, int depth,
+                   uarch::KernelProfiler &prof)
+{
+    if (lo >= hi)
+        return -1;
+    const std::uint8_t axis = static_cast<std::uint8_t>(depth % 3);
+    const std::size_t mid = (lo + hi) / 2;
+
+    const auto coord = [&](std::uint32_t i) -> float {
+        const Point &p = (*cloud_)[i];
+        return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+    };
+    std::nth_element(idx.begin() + lo, idx.begin() + mid,
+                     idx.begin() + hi,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return coord(a) < coord(b);
+                     });
+
+    const std::int32_t me = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(Node{coord(idx[mid]), idx[mid], -1, -1, axis});
+    if (prof.tracing())
+        prof.store(&nodes_.back());
+
+    const std::int32_t left = buildRange(idx, lo, mid, depth + 1, prof);
+    const std::int32_t right =
+        buildRange(idx, mid + 1, hi, depth + 1, prof);
+    nodes_[me].left = left;
+    nodes_[me].right = right;
+    return me;
+}
+
+std::size_t
+KdTree::radiusSearch(const geom::Vec3 &query, double radius,
+                     std::vector<std::uint32_t> &out,
+                     uarch::KernelProfiler prof) const
+{
+    out.clear();
+    if (root_ < 0)
+        return 0;
+    std::uint64_t steps = 0;
+    radiusRecurse(root_, query, radius * radius, out, prof, steps);
+    // Batched accounting: one call per query instead of per visited
+    // node (the hot path must stay cheap when not tracing).
+    prof.addOps(stepOps.scaled(steps));
+    if (prof.tracing()) {
+        prof.hotLoads(3 * steps);
+        prof.hotStores(2 * steps);
+        prof.bulkBranches(10 * steps);
+    }
+    return out.size();
+}
+
+void
+KdTree::radiusRecurse(std::int32_t node, const geom::Vec3 &query,
+                      double radius2, std::vector<std::uint32_t> &out,
+                      uarch::KernelProfiler &prof,
+                      std::uint64_t &steps) const
+{
+    if (node < 0)
+        return;
+    const Node &n = nodes_[static_cast<std::size_t>(node)];
+    const Point &p = (*cloud_)[n.pointIdx];
+    ++steps;
+    if (prof.tracing()) {
+        prof.load(&n);
+        prof.load(&p);
+    }
+
+    const double d2 = geom::squaredDistance(query, p.vec());
+    const bool inside = d2 <= radius2;
+    prof.branch(siteInRadius, inside);
+    if (inside)
+        out.push_back(n.pointIdx);
+
+    const double q =
+        n.axis == 0 ? query.x : (n.axis == 1 ? query.y : query.z);
+    const double delta = q - double(n.split);
+    const std::int32_t near = delta <= 0.0 ? n.left : n.right;
+    const std::int32_t far = delta <= 0.0 ? n.right : n.left;
+
+    radiusRecurse(near, query, radius2, out, prof, steps);
+    const bool cross = delta * delta <= radius2;
+    if (cross)
+        radiusRecurse(far, query, radius2, out, prof, steps);
+}
+
+std::int64_t
+KdTree::nearest(const geom::Vec3 &query, double &out_dist2,
+                uarch::KernelProfiler prof) const
+{
+    std::int64_t best = -1;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    std::uint64_t steps = 0;
+    if (root_ >= 0)
+        nearestRecurse(root_, query, best, best_d2, prof, steps);
+    prof.addOps(stepOps.scaled(steps));
+    if (prof.tracing()) {
+        prof.hotLoads(3 * steps);
+        prof.hotStores(2 * steps);
+        prof.bulkBranches(10 * steps);
+    }
+    out_dist2 = best_d2;
+    return best;
+}
+
+void
+KdTree::nearestRecurse(std::int32_t node, const geom::Vec3 &query,
+                       std::int64_t &best, double &best_d2,
+                       uarch::KernelProfiler &prof,
+                       std::uint64_t &steps) const
+{
+    if (node < 0)
+        return;
+    const Node &n = nodes_[static_cast<std::size_t>(node)];
+    const Point &p = (*cloud_)[n.pointIdx];
+    ++steps;
+    if (prof.tracing()) {
+        prof.load(&n);
+        prof.load(&p);
+    }
+
+    const double d2 = geom::squaredDistance(query, p.vec());
+    const bool improves = d2 < best_d2;
+    prof.branch(siteNearerChild, improves);
+    if (improves) {
+        best_d2 = d2;
+        best = n.pointIdx;
+    }
+
+    const double q =
+        n.axis == 0 ? query.x : (n.axis == 1 ? query.y : query.z);
+    const double delta = q - double(n.split);
+    const std::int32_t near = delta <= 0.0 ? n.left : n.right;
+    const std::int32_t far = delta <= 0.0 ? n.right : n.left;
+
+    nearestRecurse(near, query, best, best_d2, prof, steps);
+    const bool cross = delta * delta < best_d2;
+    prof.branch(siteCrossPlane, cross);
+    if (cross)
+        nearestRecurse(far, query, best, best_d2, prof, steps);
+}
+
+} // namespace av::pc

@@ -1,0 +1,183 @@
+#include "pointcloud/voxel_grid.hh"
+
+#include <cmath>
+
+namespace av::pc {
+
+namespace {
+
+enum Site : std::uint64_t {
+    siteVoxelNew = 0x52001,
+    siteVoxelKeep = 0x52002,
+};
+
+} // namespace
+
+VoxelKey
+voxelKeyOf(const geom::Vec3 &p, double leaf)
+{
+    return {static_cast<std::int32_t>(std::floor(p.x / leaf)),
+            static_cast<std::int32_t>(std::floor(p.y / leaf)),
+            static_cast<std::int32_t>(std::floor(p.z / leaf))};
+}
+
+PointCloud
+voxelGridDownsample(const PointCloud &in, double leaf,
+                    uarch::KernelProfiler prof)
+{
+    struct Acc
+    {
+        geom::Vec3 sum;
+        float intensity = 0.0f;
+        std::uint32_t count = 0;
+    };
+    std::unordered_map<VoxelKey, Acc, VoxelKeyHash> grid;
+    grid.reserve(in.size() / 4 + 16);
+
+    for (const Point &p : in.points) {
+        const VoxelKey key = voxelKeyOf(p.vec(), leaf);
+        Acc &acc = grid[key];
+        const bool fresh = acc.count == 0;
+        prof.branch(siteVoxelNew, fresh);
+        if (prof.tracing()) {
+            prof.load(&p);
+            prof.store(&acc, sizeof(Acc));
+            prof.hotLoads(8);
+            prof.hotStores(4);
+        }
+        acc.sum += p.vec();
+        acc.intensity += p.intensity;
+        ++acc.count;
+    }
+
+    PointCloud out;
+    out.stampNs = in.stampNs;
+    out.points.reserve(grid.size());
+    for (const auto &[key, acc] : grid) {
+        (void)key;
+        const geom::Vec3 c =
+            acc.sum / static_cast<double>(acc.count);
+        out.points.push_back(Point::fromVec(
+            c, acc.intensity / static_cast<float>(acc.count)));
+        if (prof.tracing())
+            prof.store(&out.points.back());
+    }
+
+    // Abstract work: hashing + accumulation per input point, one
+    // emit per occupied voxel.
+    uarch::OpCounts ops;
+    ops.loads = 6 * in.size() + 2 * grid.size();
+    ops.stores = 4 * in.size() + 2 * grid.size();
+    ops.branches = 3 * in.size() + grid.size();
+    ops.intAlu = 8 * in.size();
+    ops.fpAlu = 6 * in.size() + 4 * grid.size();
+    ops.fpDiv = grid.size();
+    prof.addOps(ops);
+    prof.bulkBranches(2 * in.size());
+    return out;
+}
+
+void
+GaussianVoxelGrid::build(const PointCloud &cloud, double leaf,
+                         uarch::KernelProfiler prof)
+{
+    leaf_ = leaf;
+    voxels_.clear();
+
+    struct Acc
+    {
+        geom::Vec3 sum;
+        geom::Mat3 outerSum;
+        std::uint32_t count = 0;
+    };
+    std::unordered_map<VoxelKey, Acc, VoxelKeyHash> accs;
+    accs.reserve(cloud.size() / 8 + 16);
+
+    for (const Point &p : cloud.points) {
+        const geom::Vec3 v = p.vec();
+        Acc &acc = accs[voxelKeyOf(v, leaf)];
+        acc.sum += v;
+        acc.outerSum += geom::outer(v, v);
+        ++acc.count;
+    }
+
+    for (const auto &[key, acc] : accs) {
+        if (acc.count < minPointsPerVoxel)
+            continue;
+        const double n = static_cast<double>(acc.count);
+        Voxel voxel;
+        voxel.count = acc.count;
+        voxel.mean = acc.sum / n;
+        // cov = E[xx^T] - mean mean^T, with small-sample correction.
+        geom::Mat3 cov =
+            acc.outerSum * (1.0 / n) -
+            geom::outer(voxel.mean, voxel.mean);
+        cov = cov * (n / (n - 1.0));
+        voxel.covariance = geom::regularizeCovariance(cov);
+        bool ok = false;
+        voxel.inverseCovariance = geom::inverse3(voxel.covariance, &ok);
+        if (!ok)
+            continue;
+        voxels_.emplace(key, voxel);
+    }
+
+    uarch::OpCounts ops;
+    ops.loads = 10 * cloud.size();
+    ops.stores = 14 * cloud.size();
+    ops.branches = 2 * cloud.size();
+    ops.intAlu = 8 * cloud.size();
+    ops.fpAlu = 24 * cloud.size() + 120 * voxels_.size();
+    ops.fpDiv = 4 * voxels_.size();
+    prof.addOps(ops);
+    prof.bulkBranches(2 * cloud.size());
+}
+
+const GaussianVoxelGrid::Voxel *
+GaussianVoxelGrid::lookup(const geom::Vec3 &p,
+                          uarch::KernelProfiler prof) const
+{
+    const auto it = voxels_.find(voxelKeyOf(p, leaf_));
+    if (it == voxels_.end())
+        return nullptr;
+    if (prof.tracing())
+        prof.load(&it->second, sizeof(Voxel));
+    return &it->second;
+}
+
+void
+GaussianVoxelGrid::neighborhood(const geom::Vec3 &p,
+                                std::vector<const Voxel *> &out,
+                                uarch::KernelProfiler prof) const
+{
+    out.clear();
+    const VoxelKey c = voxelKeyOf(p, leaf_);
+    static const std::int32_t offsets[7][3] = {
+        {0, 0, 0}, {1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+        {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+    for (const auto &off : offsets) {
+        const VoxelKey k{c.x + off[0], c.y + off[1], c.z + off[2]};
+        const auto it = voxels_.find(k);
+        const bool hit = it != voxels_.end();
+        prof.branch(0x52010, hit);
+        if (hit) {
+            if (prof.tracing()) {
+                // Only the mean + inverse covariance are touched in
+                // the scoring loop (the full Voxel spans 3 lines).
+                prof.load(&it->second, 96);
+            }
+            out.push_back(&it->second);
+        }
+    }
+    if (prof.tracing()) {
+        prof.hotLoads(40); // hash probe locals, key math
+        prof.hotStores(8);
+    }
+    uarch::OpCounts ops;
+    ops.loads = 14;
+    ops.branches = 7;
+    ops.intAlu = 21;
+    ops.other = 7;
+    prof.addOps(ops);
+}
+
+} // namespace av::pc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Voxel-grid structures: centroid downsampling (the voxel_grid_filter
+ * node) and per-voxel Gaussian statistics (the map representation NDT
+ * matching searches, see perception/ndt_matching).
+ */
+
+#ifndef AVSCOPE_POINTCLOUD_VOXEL_GRID_HH
+#define AVSCOPE_POINTCLOUD_VOXEL_GRID_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/mat.hh"
+#include "pointcloud/cloud.hh"
+#include "uarch/profiler.hh"
+
+namespace av::pc {
+
+/** Integer voxel coordinate key. */
+struct VoxelKey
+{
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+    std::int32_t z = 0;
+
+    bool operator==(const VoxelKey &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+};
+
+/** Hash for VoxelKey (large-prime mix, PCL-style). */
+struct VoxelKeyHash
+{
+    std::size_t
+    operator()(const VoxelKey &k) const
+    {
+        return static_cast<std::size_t>(k.x) * 73856093u ^
+               static_cast<std::size_t>(k.y) * 19349663u ^
+               static_cast<std::size_t>(k.z) * 83492791u;
+    }
+};
+
+/** Voxel key of a point at the given leaf size. */
+VoxelKey voxelKeyOf(const geom::Vec3 &p, double leaf);
+
+/**
+ * Centroid voxel-grid downsampling — the algorithm inside Autoware's
+ * voxel_grid_filter node. Replaces each occupied voxel's points by
+ * their centroid.
+ *
+ * @param in   input cloud
+ * @param leaf cubic voxel edge length (meters)
+ * @param prof optional instrumentation
+ */
+PointCloud voxelGridDownsample(const PointCloud &in, double leaf,
+                               uarch::KernelProfiler prof =
+                                   uarch::KernelProfiler());
+
+/**
+ * Per-voxel Gaussian statistics over a (map) cloud: mean, covariance
+ * and its inverse, regularized per Magnusson so NDT stays stable on
+ * degenerate voxels. Voxels with fewer than minPointsPerVoxel points
+ * are discarded.
+ */
+class GaussianVoxelGrid
+{
+  public:
+    /** One voxel's sufficient statistics. */
+    struct Voxel
+    {
+        geom::Vec3 mean;
+        geom::Mat3 covariance;
+        geom::Mat3 inverseCovariance;
+        std::uint32_t count = 0;
+    };
+
+    static constexpr std::uint32_t minPointsPerVoxel = 5;
+
+    /**
+     * Build the grid.
+     * @param cloud map points (world frame)
+     * @param leaf  voxel edge (meters); NDT default is 2 m
+     */
+    void build(const PointCloud &cloud, double leaf,
+               uarch::KernelProfiler prof = uarch::KernelProfiler());
+
+    /** Voxel containing @p p, or nullptr. */
+    const Voxel *lookup(const geom::Vec3 &p,
+                        uarch::KernelProfiler prof =
+                            uarch::KernelProfiler()) const;
+
+    /**
+     * The voxel containing @p p plus face-neighbours that exist —
+     * the candidate set NDT scores a point against.
+     */
+    void neighborhood(const geom::Vec3 &p,
+                      std::vector<const Voxel *> &out,
+                      uarch::KernelProfiler prof =
+                          uarch::KernelProfiler()) const;
+
+    std::size_t voxelCount() const { return voxels_.size(); }
+    double leafSize() const { return leaf_; }
+
+  private:
+    std::unordered_map<VoxelKey, Voxel, VoxelKeyHash> voxels_;
+    double leaf_ = 2.0;
+};
+
+} // namespace av::pc
+
+#endif // AVSCOPE_POINTCLOUD_VOXEL_GRID_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ROSBAG equivalent: record topics during a drive, replay them later.
+ *
+ * The paper's whole methodology rests on replaying one fixed ROSBAG
+ * into differently-configured stacks (§III-A, Fig. 3): every detector
+ * scenario sees byte-identical sensor input. Bag gives avscope the
+ * same property — the world simulator records a drive once, and the
+ * three detector configurations replay it.
+ */
+
+#ifndef AVSCOPE_ROS_BAG_HH
+#define AVSCOPE_ROS_BAG_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ros/ros.hh"
+
+namespace av::ros {
+
+/** Type-erased channel interface. */
+class BagChannelBase
+{
+  public:
+    explicit BagChannelBase(std::string name) : name_(std::move(name)) {}
+    virtual ~BagChannelBase() = default;
+
+    const std::string &name() const { return name_; }
+    virtual std::size_t count() const = 0;
+    virtual sim::Tick lastStamp() const = 0;
+
+    /**
+     * Schedule every stored message for publication into @p graph at
+     * its recorded stamp shifted by @p offset.
+     */
+    virtual void scheduleReplay(RosGraph &graph,
+                                sim::Tick offset) const = 0;
+
+  protected:
+    std::string name_;
+};
+
+/** Typed channel holding recorded messages in stamp order. */
+template <typename T>
+class BagChannel final : public BagChannelBase
+{
+  public:
+    using BagChannelBase::BagChannelBase;
+
+    void
+    add(Stamped<T> msg)
+    {
+        messages_.push_back(std::move(msg));
+    }
+
+    std::size_t count() const override { return messages_.size(); }
+
+    sim::Tick
+    lastStamp() const override
+    {
+        return messages_.empty() ? 0 : messages_.back().header.stamp;
+    }
+
+    void
+    scheduleReplay(RosGraph &graph, sim::Tick offset) const override
+    {
+        Topic<T> &topic = graph.topic<T>(name_);
+        sim::EventQueue &eq = graph.eventQueue();
+        for (const Stamped<T> &msg : messages_) {
+            const sim::Tick when = msg.header.stamp + offset;
+            eq.schedule(std::max(when, eq.now()),
+                        [&topic, msg] {
+                            Stamped<T> copy = msg;
+                            topic.publish(std::move(copy));
+                        });
+        }
+    }
+
+    const std::vector<Stamped<T>> &messages() const
+    {
+        return messages_;
+    }
+
+  private:
+    std::vector<Stamped<T>> messages_;
+};
+
+/**
+ * A collection of recorded channels.
+ */
+class Bag
+{
+  public:
+    /** Get-or-create the typed channel @p name. */
+    template <typename T>
+    BagChannel<T> &
+    channel(const std::string &name)
+    {
+        auto it = channels_.find(name);
+        if (it == channels_.end()) {
+            auto created = std::make_unique<BagChannel<T>>(name);
+            BagChannel<T> *raw = created.get();
+            channels_.emplace(name, std::move(created));
+            return *raw;
+        }
+        auto *typed =
+            dynamic_cast<BagChannel<T> *>(it->second.get());
+        if (!typed)
+            util::panic("bag channel '", name,
+                        "' used with a different type");
+        return *typed;
+    }
+
+    /** Start recording @p topic into the same-named channel. */
+    template <typename T>
+    void
+    record(Topic<T> &topic)
+    {
+        BagChannel<T> &chan = channel<T>(topic.name());
+        topic.addTap([&chan](const Stamped<T> &msg) {
+            chan.add(msg);
+        });
+    }
+
+    /** Schedule all channels for replay into @p graph. */
+    void
+    replay(RosGraph &graph, sim::Tick offset = 0) const
+    {
+        for (const auto &[name, chan] : channels_)
+            chan->scheduleReplay(graph, offset);
+    }
+
+    /** Latest stamp across channels (drive duration). */
+    sim::Tick
+    duration() const
+    {
+        sim::Tick last = 0;
+        for (const auto &[name, chan] : channels_)
+            last = std::max(last, chan->lastStamp());
+        return last;
+    }
+
+    /** Total recorded messages. */
+    std::size_t
+    totalMessages() const
+    {
+        std::size_t n = 0;
+        for (const auto &[name, chan] : channels_)
+            n += chan->count();
+        return n;
+    }
+
+    std::vector<const BagChannelBase *>
+    channels() const
+    {
+        std::vector<const BagChannelBase *> out;
+        for (const auto &[name, chan] : channels_)
+            out.push_back(chan.get());
+        return out;
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<BagChannelBase>> channels_;
+};
+
+} // namespace av::ros
+
+#endif // AVSCOPE_ROS_BAG_HH

@@ -1,0 +1,84 @@
+#include "ros/ros.hh"
+
+#include <algorithm>
+
+namespace av::ros {
+
+Origins
+Origins::merged(const Origins &o) const
+{
+    Origins out = *this;
+    if (o.lidar && (!out.lidar || o.lidar < out.lidar))
+        out.lidar = o.lidar;
+    if (o.camera && (!out.camera || o.camera < out.camera))
+        out.camera = o.camera;
+    return out;
+}
+
+Node::Node(RosGraph &graph, std::string name)
+    : graph_(graph), name_(std::move(name))
+{
+    graph_.registerNode(this);
+}
+
+Node::~Node()
+{
+    graph_.unregisterNode(this);
+}
+
+void
+Node::tryDispatch()
+{
+    if (busy_)
+        return;
+    SubscriptionBase *best = nullptr;
+    for (const auto &sub : subs_) {
+        if (!sub->hasPending())
+            continue;
+        if (!best || sub->headArrival() < best->headArrival())
+            best = sub.get();
+    }
+    if (!best)
+        return;
+    busy_ = true;
+    best->dispatchHead([this] {
+        AV_ASSERT(busy_, "done() called while node idle: ", name_);
+        busy_ = false;
+        tryDispatch();
+    });
+}
+
+RosGraph::RosGraph(hw::Machine &machine,
+                   const TransportConfig &transport)
+    : machine_(machine), transport_(transport)
+{
+}
+
+std::vector<const TopicBase *>
+RosGraph::topics() const
+{
+    std::vector<const TopicBase *> out;
+    out.reserve(topics_.size());
+    for (const auto &[name, topic] : topics_)
+        out.push_back(topic.get());
+    return out;
+}
+
+void
+RosGraph::registerNode(Node *node)
+{
+    for (const Node *n : nodes_) {
+        if (n->name() == node->name())
+            util::panic("duplicate node name: ", node->name());
+    }
+    nodes_.push_back(node);
+}
+
+void
+RosGraph::unregisterNode(Node *node)
+{
+    nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node),
+                 nodes_.end());
+}
+
+} // namespace av::ros

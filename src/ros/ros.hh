@@ -1,0 +1,428 @@
+/**
+ * @file
+ * "minros": the publish/subscribe middleware the stack runs on.
+ *
+ * Reproduces the ROS 1 semantics the paper's methodology depends on:
+ *
+ *  - typed topics with multiple subscribers (Fig. 2);
+ *  - bounded per-subscription queues that drop the *oldest* message
+ *    when a new one arrives unconsumed — the drop statistics of
+ *    Table III fall out of these counters;
+ *  - transport latency proportional to message size, so
+ *    communication cost is part of every computation path (the
+ *    paper's critique of prior work that sums isolated node times);
+ *  - single-threaded nodes: one callback in flight per node, queued
+ *    inputs wait (the Autoware/ROS spinner model);
+ *  - headers that carry the originating sensor timestamps through
+ *    the pipeline, which is exactly how the paper traces end-to-end
+ *    computation paths (§III-B).
+ *
+ * Node *callbacks do not execute on the host clock*: a handler runs
+ * its algorithm functionally, then reports simulated work (hw::Phase
+ * chains) and calls done() when the virtual-time execution finishes.
+ */
+
+#ifndef AVSCOPE_ROS_ROS_HH
+#define AVSCOPE_ROS_ROS_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace av::ros {
+
+class Node;
+class RosGraph;
+
+/**
+ * Sensor-origin timestamps a message's payload derives from. A
+ * fused detection carries both its camera's and its LiDAR scan's
+ * acquisition times so every computation path of Table IV can be
+ * traced to its sensor input.
+ */
+struct Origins
+{
+    sim::Tick lidar = 0;  ///< 0 = not derived from LiDAR
+    sim::Tick camera = 0; ///< 0 = not derived from a camera frame
+
+    /** Merge: keep the *oldest* nonzero origin per sensor. */
+    Origins merged(const Origins &o) const;
+};
+
+/** ROS-style message header. */
+struct Header
+{
+    std::uint64_t seq = 0;
+    sim::Tick stamp = 0;   ///< creation time of this message
+    Origins origins;       ///< carried through the pipeline
+    std::string frameId;
+};
+
+/** A payload with its header and serialized size. */
+template <typename T>
+struct Stamped
+{
+    Header header;
+    T data{};
+    std::size_t bytes = 0;
+    /**
+     * Delivery time at the consuming subscription (set by the
+     * middleware on deliver; 0 for messages at rest in a bag).
+     * Node latency probes measure from here, so queue wait counts —
+     * "from the moment an input arrives at the node until the
+     * output is ready" (paper §III-B).
+     */
+    sim::Tick arrival = 0;
+};
+
+/** Inter-node communication cost parameters. */
+struct TransportConfig
+{
+    sim::Tick baseLatency = 150 * sim::oneUs; ///< notify + wakeup
+    double bandwidthGBs = 2.0; ///< intra-host serialize/copy rate
+};
+
+/** Per-subscription queue statistics (Table III source). */
+struct SubscriptionStats
+{
+    std::uint64_t delivered = 0; ///< entered the queue
+    std::uint64_t dropped = 0;   ///< overwritten before consumption
+    std::uint64_t processed = 0; ///< handler invocations
+
+    double dropRate() const
+    {
+        return delivered ? static_cast<double>(dropped) /
+                               static_cast<double>(delivered)
+                         : 0.0;
+    }
+};
+
+/** Type-erased subscription interface the Node dispatcher uses. */
+class SubscriptionBase
+{
+  public:
+    SubscriptionBase(std::string topic, Node *node, std::size_t depth)
+        : topicName_(std::move(topic)), node_(node), depth_(depth)
+    {}
+    virtual ~SubscriptionBase() = default;
+
+    virtual bool hasPending() const = 0;
+    /** Arrival time of the oldest queued message (valid if pending). */
+    virtual sim::Tick headArrival() const = 0;
+    /**
+     * Pop the head and invoke the handler, passing it @p done to
+     * call when the node's simulated execution finishes.
+     */
+    virtual void dispatchHead(std::function<void()> done) = 0;
+
+    const std::string &topicName() const { return topicName_; }
+    const SubscriptionStats &stats() const { return stats_; }
+    Node *node() const { return node_; }
+
+  protected:
+    std::string topicName_;
+    Node *node_;
+    std::size_t depth_;
+    SubscriptionStats stats_;
+};
+
+/** Type-erased topic interface for enumeration/reporting. */
+class TopicBase
+{
+  public:
+    explicit TopicBase(std::string name) : name_(std::move(name)) {}
+    virtual ~TopicBase() = default;
+
+    const std::string &name() const { return name_; }
+    std::uint64_t published() const { return published_; }
+    virtual std::vector<const SubscriptionBase *> subscribers()
+        const = 0;
+
+  protected:
+    std::string name_;
+    std::uint64_t published_ = 0;
+};
+
+/**
+ * A node: owns subscriptions, processes one message at a time.
+ */
+class Node
+{
+  public:
+    /**
+     * @param graph the middleware instance
+     * @param name  unique node name (also the hw accounting owner)
+     */
+    Node(RosGraph &graph, std::string name);
+    virtual ~Node();
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    const std::string &name() const { return name_; }
+    RosGraph &graph() { return graph_; }
+    bool busy() const { return busy_; }
+
+    /**
+     * Handler signature: receives the message and a done() callback
+     * that MUST be invoked exactly once when the node's simulated
+     * execution for this message finishes (typically from the last
+     * hw::Phase completion).
+     */
+    template <typename T>
+    using Handler =
+        std::function<void(const Stamped<T> &, std::function<void()>)>;
+
+    /** Subscribe to @p topic with a bounded queue. */
+    template <typename T>
+    void subscribe(const std::string &topic, std::size_t queue_depth,
+                   Handler<T> handler);
+
+    /** Subscriptions (for drop-stat reporting). */
+    const std::vector<std::unique_ptr<SubscriptionBase>> &
+    subscriptions() const
+    {
+        return subs_;
+    }
+
+    /** Called by subscriptions when new data arrives / node frees. */
+    void tryDispatch();
+
+  protected:
+    friend class RosGraph;
+    RosGraph &graph_;
+    std::string name_;
+    std::vector<std::unique_ptr<SubscriptionBase>> subs_;
+    bool busy_ = false;
+};
+
+/** Typed subscription with a drop-oldest bounded queue. */
+template <typename T>
+class Subscription final : public SubscriptionBase
+{
+  public:
+    Subscription(std::string topic, Node *node, std::size_t depth,
+                 Node::Handler<T> handler)
+        : SubscriptionBase(std::move(topic), node, depth),
+          handler_(std::move(handler))
+    {
+        AV_ASSERT(depth_ > 0, "queue depth must be positive");
+    }
+
+    /** Called by Topic<T> when a message reaches this subscriber. */
+    void
+    deliver(Stamped<T> msg, sim::Tick arrival)
+    {
+        msg.arrival = arrival;
+        ++stats_.delivered;
+        if (pending_.size() >= depth_) {
+            pending_.pop_front();
+            ++stats_.dropped;
+        }
+        pending_.push_back(Pending{arrival, std::move(msg)});
+        node_->tryDispatch();
+    }
+
+    bool hasPending() const override { return !pending_.empty(); }
+
+    sim::Tick
+    headArrival() const override
+    {
+        return pending_.front().arrival;
+    }
+
+    void
+    dispatchHead(std::function<void()> done) override
+    {
+        Pending p = std::move(pending_.front());
+        pending_.pop_front();
+        ++stats_.processed;
+        handler_(p.msg, std::move(done));
+    }
+
+  private:
+    struct Pending
+    {
+        sim::Tick arrival;
+        Stamped<T> msg;
+    };
+    std::deque<Pending> pending_;
+    Node::Handler<T> handler_;
+};
+
+/** Typed topic: fan-out with per-subscriber transport delay. */
+template <typename T>
+class Topic final : public TopicBase
+{
+  public:
+    using Message = Stamped<T>;
+    using Tap = std::function<void(const Message &)>;
+
+    Topic(std::string name, sim::EventQueue &eq,
+          const TransportConfig &transport)
+        : TopicBase(std::move(name)), eq_(eq), transport_(transport)
+    {}
+
+    /** Register a subscriber (middleware-internal). */
+    void addSubscriber(Subscription<T> *sub)
+    {
+        subs_.push_back(sub);
+    }
+
+    /**
+     * Observe every publication synchronously with zero simulated
+     * cost (bag recording, probes).
+     */
+    void addTap(Tap tap) { taps_.push_back(std::move(tap)); }
+
+    /**
+     * Publish. Subscribers receive the message after the transport
+     * delay for its size.
+     */
+    void
+    publish(Message msg)
+    {
+        msg.header.seq = published_++;
+        for (const Tap &tap : taps_)
+            tap(msg);
+        const double bytes = static_cast<double>(msg.bytes);
+        const sim::Tick delay =
+            transport_.baseLatency +
+            static_cast<sim::Tick>(bytes /
+                                   transport_.bandwidthGBs);
+        for (Subscription<T> *sub : subs_) {
+            eq_.scheduleAfter(delay, [this, sub, msg] {
+                Stamped<T> copy = msg;
+                sub->deliver(std::move(copy), eq_.now());
+            });
+        }
+    }
+
+    std::vector<const SubscriptionBase *>
+    subscribers() const override
+    {
+        std::vector<const SubscriptionBase *> out;
+        for (const auto *s : subs_)
+            out.push_back(s);
+        return out;
+    }
+
+  private:
+    sim::EventQueue &eq_;
+    TransportConfig transport_;
+    std::vector<Subscription<T> *> subs_;
+    std::vector<Tap> taps_;
+};
+
+/** Handle for publishing to a topic. */
+template <typename T>
+class Publisher
+{
+  public:
+    Publisher() = default;
+    explicit Publisher(Topic<T> *topic) : topic_(topic) {}
+
+    /** Publish @p data with explicit serialized size. */
+    void
+    publish(Header header, T data, std::size_t bytes)
+    {
+        AV_ASSERT(topic_, "publishing through a null Publisher");
+        Stamped<T> msg;
+        msg.header = std::move(header);
+        msg.data = std::move(data);
+        msg.bytes = bytes;
+        topic_->publish(std::move(msg));
+    }
+
+    bool valid() const { return topic_ != nullptr; }
+    const std::string &topicName() const { return topic_->name(); }
+
+  private:
+    Topic<T> *topic_ = nullptr;
+};
+
+/**
+ * The middleware instance: topic registry + node registry, bound to
+ * one Machine.
+ */
+class RosGraph
+{
+  public:
+    explicit RosGraph(hw::Machine &machine,
+                      const TransportConfig &transport =
+                          TransportConfig());
+
+    RosGraph(const RosGraph &) = delete;
+    RosGraph &operator=(const RosGraph &) = delete;
+
+    hw::Machine &machine() { return machine_; }
+    sim::EventQueue &eventQueue() { return machine_.eventQueue(); }
+    const TransportConfig &transport() const { return transport_; }
+
+    /** Get-or-create the typed topic @p name. */
+    template <typename T>
+    Topic<T> &
+    topic(const std::string &name)
+    {
+        auto it = topics_.find(name);
+        if (it == topics_.end()) {
+            auto created = std::make_unique<Topic<T>>(
+                name, eventQueue(), transport_);
+            Topic<T> *raw = created.get();
+            topics_.emplace(name, std::move(created));
+            return *raw;
+        }
+        auto *typed = dynamic_cast<Topic<T> *>(it->second.get());
+        if (!typed)
+            util::panic("topic '", name,
+                        "' re-declared with a different type");
+        return *typed;
+    }
+
+    /** Create a Publisher for @p name. */
+    template <typename T>
+    Publisher<T>
+    advertise(const std::string &name)
+    {
+        return Publisher<T>(&topic<T>(name));
+    }
+
+    /** All topics, for reporting. */
+    std::vector<const TopicBase *> topics() const;
+
+    /** All registered nodes. */
+    const std::vector<Node *> &nodes() const { return nodes_; }
+
+    void registerNode(Node *node);
+    void unregisterNode(Node *node);
+
+  private:
+    hw::Machine &machine_;
+    TransportConfig transport_;
+    std::map<std::string, std::unique_ptr<TopicBase>> topics_;
+    std::vector<Node *> nodes_;
+};
+
+// Node template methods -------------------------------------------------
+
+template <typename T>
+void
+Node::subscribe(const std::string &topic_name, std::size_t queue_depth,
+                Handler<T> handler)
+{
+    auto sub = std::make_unique<Subscription<T>>(
+        topic_name, this, queue_depth, std::move(handler));
+    graph_.topic<T>(topic_name).addSubscriber(sub.get());
+    subs_.push_back(std::move(sub));
+}
+
+} // namespace av::ros
+
+#endif // AVSCOPE_ROS_ROS_HH

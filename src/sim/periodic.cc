@@ -1,0 +1,68 @@
+#include "sim/periodic.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace av::sim {
+
+PeriodicTask::PeriodicTask(EventQueue &eq, Tick period,
+                           std::function<void(std::uint64_t)> fn)
+    : eq_(eq), period_(period), fn_(std::move(fn)), rng_(1)
+{
+    AV_ASSERT(period_ > 0, "periodic task needs a positive period");
+    AV_ASSERT(fn_, "periodic task needs a callback");
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    stop();
+}
+
+void
+PeriodicTask::start(Tick phase, double jitter_fraction, std::uint64_t seed)
+{
+    AV_ASSERT(!running_, "periodic task started twice");
+    AV_ASSERT(jitter_fraction >= 0.0 && jitter_fraction < 1.0,
+              "jitter fraction out of range");
+    jitter_ = jitter_fraction;
+    rng_ = util::Rng(seed ? seed : 0xabcdef12345ull);
+    running_ = true;
+    scheduleNext(phase);
+}
+
+void
+PeriodicTask::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    eq_.deschedule(pendingEvent_);
+    pendingEvent_ = 0;
+}
+
+void
+PeriodicTask::scheduleNext(Tick delay)
+{
+    pendingEvent_ = eq_.scheduleAfter(delay, [this] { fire(); });
+}
+
+void
+PeriodicTask::fire()
+{
+    pendingEvent_ = 0;
+    const std::uint64_t index = count_++;
+    // Reschedule before running the callback so the callback may call
+    // stop() and cancel the chain.
+    Tick next = period_;
+    if (jitter_ > 0.0) {
+        const double factor =
+            1.0 + rng_.uniform(-jitter_, jitter_);
+        next = static_cast<Tick>(
+            std::max(1.0, static_cast<double>(period_) * factor));
+    }
+    scheduleNext(next);
+    fn_(index);
+}
+
+} // namespace av::sim

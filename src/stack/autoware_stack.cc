@@ -1,0 +1,75 @@
+#include "stack/autoware_stack.hh"
+
+namespace av::stack {
+
+AutowareStack::AutowareStack(ros::RosGraph &graph,
+                             const pc::PointCloud &map,
+                             const StackOptions &options,
+                             const NodeCalibration &calibration,
+                             std::optional<geom::Pose2> initial_pose)
+    : options_(options)
+{
+    using namespace perception;
+
+    if (options.enableLocalization) {
+        voxel_ = std::make_unique<VoxelGridFilterNode>(
+            graph, calibration.voxelGridFilter);
+        ndt_ = std::make_unique<NdtMatchingNode>(
+            graph, calibration.ndtMatching, map, initial_pose);
+    }
+    if (options.enableLidarDetection) {
+        rayGround_ = std::make_unique<RayGroundFilterNode>(
+            graph, calibration.rayGroundFilter);
+        cluster_ = std::make_unique<EuclideanClusterNode>(
+            graph, calibration.euclideanCluster, ClusterConfig(),
+            options.clusterOnGpu);
+    }
+    if (options.enableVision) {
+        vision_ = std::make_unique<VisionDetectorNode>(
+            graph, calibration.visionDetector, options.detector,
+            gpuParamsFor(options.detector));
+    }
+    if (options.enableTracking) {
+        fusion_ = std::make_unique<RangeVisionFusionNode>(
+            graph, calibration.rangeVisionFusion);
+        tracker_ = std::make_unique<ImmUkfPdaNode>(
+            graph, calibration.immUkfPda);
+        relay_ = std::make_unique<TrackRelayNode>(
+            graph, calibration.trackRelay);
+        predict_ = std::make_unique<NaiveMotionPredictNode>(
+            graph, calibration.naiveMotionPredict);
+    }
+    if (options.enableCostmap) {
+        costmap_ = std::make_unique<CostmapGeneratorNode>(
+            graph, calibration.costmapGenerator);
+    }
+
+    const auto collect = [this](PerceptionNode *node) {
+        if (node)
+            all_.push_back(node);
+    };
+    collect(voxel_.get());
+    collect(ndt_.get());
+    collect(rayGround_.get());
+    collect(cluster_.get());
+    collect(vision_.get());
+    collect(fusion_.get());
+    collect(tracker_.get());
+    collect(relay_.get());
+    collect(predict_.get());
+    collect(costmap_.get());
+}
+
+AutowareStack::~AutowareStack() = default;
+
+perception::PerceptionNode *
+AutowareStack::find(const std::string &name) const
+{
+    for (perception::PerceptionNode *node : all_) {
+        if (node->name() == name)
+            return node;
+    }
+    return nullptr;
+}
+
+} // namespace av::stack

@@ -1,0 +1,63 @@
+#include "uarch/branch.hh"
+
+#include "util/logging.hh"
+
+namespace av::uarch {
+
+GsharePredictor::GsharePredictor(const BranchConfig &config)
+    : config_(config)
+{
+    AV_ASSERT(config_.tableBits >= 4 && config_.tableBits <= 24,
+              "gshare table bits out of range");
+    AV_ASSERT(config_.historyBits <= 32, "history too long");
+    table_.assign(std::size_t(1) << config_.tableBits, 1); // weakly NT
+    historyMask_ = config_.historyBits >= 32
+                       ? ~0u
+                       : ((1u << config_.historyBits) - 1);
+    tableMask_ = (1u << config_.tableBits) - 1;
+}
+
+bool
+GsharePredictor::record(std::uint64_t site, bool taken)
+{
+    // Fold the 64-bit site down and XOR with history (gshare).
+    const std::uint32_t folded =
+        static_cast<std::uint32_t>(site ^ (site >> 17) ^ (site >> 31));
+    const std::uint32_t index = (folded ^ history_) & tableMask_;
+    std::uint8_t &counter = table_[index];
+    const bool prediction = counter >= 2;
+    const bool correct = prediction == taken;
+
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+
+    correct ? ++stats_.predicted : ++stats_.mispredicted;
+    return correct;
+}
+
+void
+GsharePredictor::recordBulkPredictable(std::uint64_t count,
+                                       double accuracy)
+{
+    const double expected_miss =
+        static_cast<double>(count) * (1.0 - accuracy) + bulkResidual_;
+    const std::uint64_t misses =
+        static_cast<std::uint64_t>(expected_miss);
+    bulkResidual_ = expected_miss - static_cast<double>(misses);
+    stats_.mispredicted += misses;
+    stats_.predicted += count - misses;
+}
+
+void
+GsharePredictor::reset()
+{
+    table_.assign(table_.size(), 1);
+    history_ = 0;
+    stats_ = BranchStats();
+    bulkResidual_ = 0.0;
+}
+
+} // namespace av::uarch

@@ -1,0 +1,107 @@
+#include "uarch/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace av::uarch {
+
+double
+CacheStats::readMissRate() const
+{
+    const std::uint64_t total = readHits + readMisses;
+    return total ? static_cast<double>(readMisses) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+CacheStats::writeMissRate() const
+{
+    const std::uint64_t total = writeHits + writeMisses;
+    return total ? static_cast<double>(writeMisses) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &o)
+{
+    readHits += o.readHits;
+    readMisses += o.readMisses;
+    writeHits += o.writeHits;
+    writeMisses += o.writeMisses;
+    return *this;
+}
+
+CacheModel::CacheModel(const CacheConfig &config) : config_(config)
+{
+    AV_ASSERT(config_.lineBytes > 0 &&
+                  std::has_single_bit(config_.lineBytes),
+              "cache line size must be a power of two");
+    AV_ASSERT(config_.assoc > 0, "cache associativity must be positive");
+    const std::uint32_t lines = config_.sizeBytes / config_.lineBytes;
+    AV_ASSERT(lines >= config_.assoc, "cache smaller than one set");
+    numSets_ = lines / config_.assoc;
+    AV_ASSERT(std::has_single_bit(numSets_),
+              "number of cache sets must be a power of two");
+    lineShift_ =
+        static_cast<std::uint32_t>(std::countr_zero(config_.lineBytes));
+    lines_.resize(static_cast<std::size_t>(numSets_) * config_.assoc);
+}
+
+bool
+CacheModel::lookupInsert(std::uint64_t line_addr)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr & (numSets_ - 1));
+    const std::uint64_t tag = line_addr >> std::countr_zero(numSets_);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    ++useClock_;
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+void
+CacheModel::access(std::uintptr_t addr, std::uint32_t bytes, bool is_write)
+{
+    if (bytes == 0)
+        bytes = 1;
+    const std::uint64_t first = addr >> lineShift_;
+    const std::uint64_t last = (addr + bytes - 1) >> lineShift_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        const bool hit = lookupInsert(line);
+        if (is_write) {
+            hit ? ++stats_.writeHits : ++stats_.writeMisses;
+        } else {
+            hit ? ++stats_.readHits : ++stats_.readMisses;
+        }
+    }
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    stats_ = CacheStats();
+    useClock_ = 0;
+}
+
+} // namespace av::uarch

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * Stands in for the PAPI L1 counters of the paper's Table VII. Fed
+ * with the (sampled) address streams that the instrumented perception
+ * algorithms emit, it measures read/write miss rates that reflect the
+ * algorithms' real data layouts: kd-tree chasing in
+ * euclidean_cluster shows poor locality, the costmap's sequential
+ * grid writes show almost none.
+ */
+
+#ifndef AVSCOPE_UARCH_CACHE_HH
+#define AVSCOPE_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace av::uarch {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+};
+
+/** Hit/miss counters split by access type. */
+struct CacheStats
+{
+    std::uint64_t readHits = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeHits = 0;
+    std::uint64_t writeMisses = 0;
+
+    double readMissRate() const;
+    double writeMissRate() const;
+    std::uint64_t accesses() const
+    {
+        return readHits + readMisses + writeHits + writeMisses;
+    }
+    std::uint64_t misses() const { return readMisses + writeMisses; }
+
+    CacheStats &operator+=(const CacheStats &o);
+};
+
+/**
+ * A single-level, write-allocate, LRU, set-associative cache.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config = CacheConfig());
+
+    /**
+     * Simulate one access covering [addr, addr + bytes). Accesses
+     * spanning line boundaries touch every covered line.
+     */
+    void access(std::uintptr_t addr, std::uint32_t bytes, bool is_write);
+
+    /** Convenience wrappers. */
+    void read(std::uintptr_t addr, std::uint32_t bytes)
+    { access(addr, bytes, false); }
+    void write(std::uintptr_t addr, std::uint32_t bytes)
+    { access(addr, bytes, true); }
+
+    /**
+     * Credit @p n guaranteed hits without simulating them. Used by
+     * instrumented algorithms for the register-adjacent / hot-stack
+     * accesses that always hit, so traced miss *rates* stay
+     * proportional to the real access population.
+     */
+    void
+    creditHits(std::uint64_t n, bool is_write)
+    {
+        if (is_write)
+            stats_.writeHits += n;
+        else
+            stats_.readHits += n;
+    }
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return numSets_; }
+
+    /** Drop all cached lines and zero the statistics. */
+    void reset();
+
+    /** Zero the statistics, keep cache contents warm. */
+    void resetStats() { stats_ = CacheStats(); }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    std::uint32_t numSets_;
+    std::uint32_t lineShift_;
+    std::vector<Line> lines_; ///< numSets_ * assoc, set-major
+    CacheStats stats_;
+    std::uint64_t useClock_ = 0;
+
+    bool lookupInsert(std::uint64_t line_addr);
+};
+
+} // namespace av::uarch
+
+#endif // AVSCOPE_UARCH_CACHE_HH

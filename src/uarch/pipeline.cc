@@ -1,0 +1,40 @@
+#include "uarch/pipeline.hh"
+
+#include <algorithm>
+
+namespace av::uarch {
+
+double
+PipelineModel::cpi(const OpCounts &ops, double l1_read_miss,
+                   double l1_write_miss, double br_miss) const
+{
+    const double total = static_cast<double>(ops.total());
+    if (total <= 0.0)
+        return 1.0 / config_.peakIpc;
+
+    const double load_frac = static_cast<double>(ops.loads) / total;
+    const double store_frac = static_cast<double>(ops.stores) / total;
+    const double branch_frac =
+        static_cast<double>(ops.branches) / total;
+    const double div_frac = static_cast<double>(ops.fpDiv) / total;
+    const double simd_frac = static_cast<double>(ops.simd) / total;
+
+    double cpi = 1.0 / config_.peakIpc;
+    cpi += (load_frac + store_frac) * config_.memIssueCost;
+    cpi += load_frac * l1_read_miss * config_.readMissPenalty;
+    cpi += store_frac * l1_write_miss * config_.writeMissPenalty;
+    cpi += branch_frac * br_miss * config_.flushPenalty;
+    cpi += div_frac * config_.divExtraLatency;
+    cpi -= simd_frac * config_.simdBonus / config_.peakIpc;
+    return std::max(cpi, 1.0 / (2.0 * config_.peakIpc));
+}
+
+double
+PipelineModel::cycles(const OpCounts &ops, double l1_read_miss,
+                      double l1_write_miss, double br_miss) const
+{
+    return cpi(ops, l1_read_miss, l1_write_miss, br_miss) *
+           static_cast<double>(ops.total());
+}
+
+} // namespace av::uarch

@@ -1,0 +1,99 @@
+#include "uarch/profiler.hh"
+
+#include "util/logging.hh"
+
+namespace av::uarch {
+
+namespace {
+constexpr double ewmaAlpha = 0.2;
+}
+
+NodeArchState::NodeArchState(const CacheConfig &cache,
+                             const BranchConfig &branch,
+                             const PipelineConfig &pipe,
+                             std::uint32_t trace_period)
+    : l1d_(cache), bp_(branch), pipe_(pipe),
+      tracePeriod_(trace_period ? trace_period : 1)
+{
+}
+
+void
+NodeArchState::beginInvocation()
+{
+    AV_ASSERT(!inInvocation_, "nested invocation on NodeArchState");
+    inInvocation_ = true;
+    tracing_ = (invocations_ % tracePeriod_) == 0;
+    ++invocations_;
+    invOps_ = OpCounts();
+    cacheAtBegin_ = l1d_.stats();
+    branchAtBegin_ = bp_.stats();
+}
+
+InvocationCost
+NodeArchState::endInvocation()
+{
+    AV_ASSERT(inInvocation_, "endInvocation without beginInvocation");
+    inInvocation_ = false;
+
+    if (tracing_) {
+        // Per-invocation deltas of the trace-driven simulators.
+        const CacheStats &c = l1d_.stats();
+        const BranchStats &b = bp_.stats();
+        const std::uint64_t rd =
+            (c.readHits + c.readMisses) -
+            (cacheAtBegin_.readHits + cacheAtBegin_.readMisses);
+        const std::uint64_t wr =
+            (c.writeHits + c.writeMisses) -
+            (cacheAtBegin_.writeHits + cacheAtBegin_.writeMisses);
+        const std::uint64_t br = b.total() - branchAtBegin_.total();
+        if (rd > 0) {
+            const double rate =
+                static_cast<double>(c.readMisses -
+                                    cacheAtBegin_.readMisses) /
+                static_cast<double>(rd);
+            ewmaReadMiss_ += ewmaAlpha * (rate - ewmaReadMiss_);
+        }
+        if (wr > 0) {
+            const double rate =
+                static_cast<double>(c.writeMisses -
+                                    cacheAtBegin_.writeMisses) /
+                static_cast<double>(wr);
+            ewmaWriteMiss_ += ewmaAlpha * (rate - ewmaWriteMiss_);
+        }
+        if (br > 0) {
+            const double rate =
+                static_cast<double>(b.mispredicted -
+                                    branchAtBegin_.mispredicted) /
+                static_cast<double>(br);
+            ewmaBranchMiss_ += ewmaAlpha * (rate - ewmaBranchMiss_);
+        }
+        tracing_ = false;
+    }
+
+    InvocationCost cost;
+    cost.ops = invOps_;
+    cost.l1ReadMissRate = ewmaReadMiss_;
+    cost.l1WriteMissRate = ewmaWriteMiss_;
+    cost.branchMissRate = ewmaBranchMiss_;
+    cost.cycles = pipe_.cycles(invOps_, ewmaReadMiss_, ewmaWriteMiss_,
+                               ewmaBranchMiss_);
+    cost.dramBytes =
+        (ewmaReadMiss_ * static_cast<double>(invOps_.loads) +
+         ewmaWriteMiss_ * static_cast<double>(invOps_.stores)) *
+        static_cast<double>(l1d_.config().lineBytes) *
+        pipe_.config().l2MissFactor;
+
+    totalOps_ += invOps_;
+    totalCycles_ += cost.cycles;
+    return cost;
+}
+
+double
+NodeArchState::lifetimeIpc() const
+{
+    if (totalCycles_ <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalOps_.total()) / totalCycles_;
+}
+
+} // namespace av::uarch

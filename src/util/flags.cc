@@ -1,0 +1,86 @@
+#include "util/flags.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace av::util {
+
+Flags::Flags(int argc, char **argv, const std::vector<std::string> &known)
+{
+    const auto is_known = [&](const std::string &k) {
+        return std::find(known.begin(), known.end(), k) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string key = arg;
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            value = argv[++i];
+        } else {
+            value = "true";
+        }
+        if (!is_known(key)) {
+            std::string usage = "unknown flag --" + key + "; known flags:";
+            for (const auto &k : known)
+                usage += " --" + k;
+            fatal(usage);
+        }
+        values_[key] = value;
+    }
+}
+
+bool
+Flags::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Flags::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+long
+Flags::getInt(const std::string &key, long def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double
+Flags::getDouble(const std::string &key, double def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Flags::getBool(const std::string &key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return it->second == "true" || it->second == "1" ||
+           it->second == "yes" || it->second == "on";
+}
+
+} // namespace av::util

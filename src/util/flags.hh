@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for bench/example binaries.
+ *
+ * Accepts "--key=value" and "--key value" forms plus bare "--key" for
+ * booleans. Unknown flags are fatal so typos in experiment sweeps do
+ * not silently fall back to defaults.
+ */
+
+#ifndef AVSCOPE_UTIL_FLAGS_HH
+#define AVSCOPE_UTIL_FLAGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace av::util {
+
+/**
+ * Parsed command line.
+ */
+class Flags
+{
+  public:
+    /**
+     * Parse argv. @p known lists every accepted flag name (without
+     * leading dashes); anything else aborts with a usage message.
+     */
+    Flags(int argc, char **argv, const std::vector<std::string> &known);
+
+    /** True if the flag was present at all. */
+    bool has(const std::string &key) const;
+
+    /** String value or @p def. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Integer value or @p def. */
+    long getInt(const std::string &key, long def) const;
+
+    /** Double value or @p def. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean value; bare "--key" counts as true. */
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return pos_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> pos_;
+};
+
+} // namespace av::util
+
+#endif // AVSCOPE_UTIL_FLAGS_HH

@@ -1,0 +1,47 @@
+#include "util/logging.hh"
+
+#include <mutex>
+
+namespace av::util {
+
+namespace {
+
+LogLevel gThreshold = LogLevel::Info;
+std::mutex gLogMutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return gThreshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    gThreshold = level;
+}
+
+void
+logRecord(LogLevel level, std::string_view msg)
+{
+    if (level < gThreshold)
+        return;
+    std::lock_guard<std::mutex> lock(gLogMutex);
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace av::util

@@ -1,0 +1,177 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace av::util {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+SampleSeries::SampleSeries(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rngState_(seed ? seed : 1)
+{
+    AV_ASSERT(capacity_ > 0, "SampleSeries capacity must be positive");
+    samples_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+SampleSeries::add(double x)
+{
+    stats_.add(x);
+    if (samples_.size() < capacity_) {
+        samples_.push_back(x);
+        sorted_ = false;
+        return;
+    }
+    // Reservoir: keep each of the N offered samples with equal
+    // probability capacity/N.
+    rngState_ ^= rngState_ << 13;
+    rngState_ ^= rngState_ >> 7;
+    rngState_ ^= rngState_ << 17;
+    const std::size_t slot = rngState_ % stats_.count();
+    if (slot < capacity_) {
+        samples_[slot] = x;
+        sorted_ = false;
+    }
+}
+
+void
+SampleSeries::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleSeries::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (q <= 0.0)
+        return stats_.min();
+    if (q >= 1.0)
+        return stats_.max();
+    ensureSorted();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+DistributionSummary
+SampleSeries::summarize() const
+{
+    DistributionSummary s;
+    s.count = stats_.count();
+    if (s.count == 0)
+        return s;
+    s.min = stats_.min();
+    s.max = stats_.max();
+    s.mean = stats_.mean();
+    s.stddev = stats_.stddev();
+    s.q1 = quantile(0.25);
+    s.median = quantile(0.50);
+    s.q3 = quantile(0.75);
+    s.p99 = quantile(0.99);
+    return s;
+}
+
+std::vector<std::size_t>
+SampleSeries::histogram(std::size_t bins) const
+{
+    std::vector<std::size_t> out(bins, 0);
+    if (samples_.empty() || bins == 0)
+        return out;
+    const double lo = stats_.min();
+    const double hi = stats_.max();
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (double v : samples_) {
+        std::size_t b = 0;
+        if (width > 0.0)
+            b = static_cast<std::size_t>((v - lo) / width);
+        out[std::min(b, bins - 1)]++;
+    }
+    return out;
+}
+
+void
+SampleSeries::reset()
+{
+    stats_.reset();
+    samples_.clear();
+    sorted_ = true;
+}
+
+std::string
+toString(const DistributionSummary &s)
+{
+    std::ostringstream os;
+    os << "n=" << s.count
+       << " min=" << s.min
+       << " q1=" << s.q1
+       << " mean=" << s.mean
+       << " q3=" << s.q3
+       << " p99=" << s.p99
+       << " max=" << s.max
+       << " sd=" << s.stddev;
+    return os.str();
+}
+
+} // namespace av::util

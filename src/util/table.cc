@@ -1,0 +1,128 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace av::util {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    AV_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    AV_ASSERT(cells.size() == headers_.size(),
+              "row width ", cells.size(), " != header width ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto print_row = [&](const std::vector<std::string> &row) {
+        os << "  ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    print_row(headers_);
+    std::size_t total = 2;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total - 4, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string cell = row[c];
+            const bool quote =
+                cell.find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                std::string escaped = "\"";
+                for (char ch : cell) {
+                    if (ch == '"')
+                        escaped += '"';
+                    escaped += ch;
+                }
+                escaped += '"';
+                cell = escaped;
+            }
+            os << cell;
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+std::string
+sketchDistribution(const std::vector<std::size_t> &histogram,
+                   std::size_t width)
+{
+    if (histogram.empty())
+        return "";
+    static const char *shades[] = {" ", ".", ":", "-", "=", "#"};
+    const std::size_t levels = 6;
+    std::size_t peak = 1;
+    for (std::size_t v : histogram)
+        peak = std::max(peak, v);
+
+    std::string out;
+    out.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        // Resample the histogram to the requested width.
+        const std::size_t b = i * histogram.size() / width;
+        const std::size_t level =
+            histogram[b] == 0
+                ? 0
+                : 1 + (histogram[b] * (levels - 2)) / peak;
+        out += shades[std::min(level, levels - 1)];
+    }
+    return out;
+}
+
+} // namespace av::util

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text and CSV table rendering for benchmark reports.
+ *
+ * Every bench binary regenerating a paper table/figure prints its rows
+ * through this so outputs are uniform and machine-parsable.
+ */
+
+#ifndef AVSCOPE_UTIL_TABLE_HH
+#define AVSCOPE_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace av::util {
+
+/**
+ * A small column-aligned table builder.
+ */
+class Table
+{
+  public:
+    /** Create a table titled @p title with the given column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header row first, title omitted). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a value as a percentage string, e.g. "12.95%". */
+    static std::string pct(double fraction, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render a horizontal ASCII distribution sketch ("violin" stand-in):
+ * density bars between min and max with markers for Q1/mean/Q3.
+ */
+std::string sketchDistribution(const std::vector<std::size_t> &histogram,
+                               std::size_t width = 40);
+
+} // namespace av::util
+
+#endif // AVSCOPE_UTIL_TABLE_HH

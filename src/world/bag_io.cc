@@ -1,0 +1,287 @@
+#include "world/bag_io.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "world/recorder.hh"
+
+namespace av::world {
+
+namespace {
+
+constexpr std::uint32_t magic = 0x47425641; // "AVBG"
+constexpr std::uint32_t version = 1;
+
+/** Channel tags. */
+enum Tag : std::uint32_t {
+    tagPoints = 1,
+    tagImages = 2,
+    tagGnss = 3,
+    tagImu = 4,
+};
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+readRaw(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(is);
+}
+
+void
+writeHeader(std::ostream &os, const ros::Header &h,
+            std::uint64_t bytes)
+{
+    writeRaw<std::uint64_t>(os, h.seq);
+    writeRaw<std::uint64_t>(os, h.stamp);
+    writeRaw<std::uint64_t>(os, h.origins.lidar);
+    writeRaw<std::uint64_t>(os, h.origins.camera);
+    writeRaw<std::uint64_t>(os, bytes);
+}
+
+bool
+readHeader(std::istream &is, ros::Header &h, std::uint64_t &bytes)
+{
+    return readRaw(is, h.seq) && readRaw(is, h.stamp) &&
+           readRaw(is, h.origins.lidar) &&
+           readRaw(is, h.origins.camera) && readRaw(is, bytes);
+}
+
+void
+writePointCloud(std::ostream &os,
+                const ros::Stamped<pc::PointCloud> &msg)
+{
+    writeHeader(os, msg.header, msg.bytes);
+    writeRaw<std::uint64_t>(os, msg.data.stampNs);
+    writeRaw<std::uint32_t>(
+        os, static_cast<std::uint32_t>(msg.data.size()));
+    for (const pc::Point &p : msg.data.points) {
+        writeRaw(os, p.x);
+        writeRaw(os, p.y);
+        writeRaw(os, p.z);
+        writeRaw(os, p.intensity);
+        writeRaw(os, p.ring);
+    }
+}
+
+bool
+readPointCloud(std::istream &is, ros::Stamped<pc::PointCloud> &msg)
+{
+    std::uint64_t bytes = 0;
+    if (!readHeader(is, msg.header, bytes))
+        return false;
+    msg.bytes = static_cast<std::size_t>(bytes);
+    std::uint32_t count = 0;
+    if (!readRaw(is, msg.data.stampNs) || !readRaw(is, count))
+        return false;
+    msg.data.points.resize(count);
+    for (pc::Point &p : msg.data.points) {
+        if (!(readRaw(is, p.x) && readRaw(is, p.y) &&
+              readRaw(is, p.z) && readRaw(is, p.intensity) &&
+              readRaw(is, p.ring)))
+            return false;
+    }
+    return true;
+}
+
+void
+writeFrame(std::ostream &os, const ros::Stamped<CameraFrame> &msg)
+{
+    writeHeader(os, msg.header, msg.bytes);
+    writeRaw(os, msg.data.width);
+    writeRaw(os, msg.data.height);
+    writeRaw<std::uint32_t>(
+        os, static_cast<std::uint32_t>(msg.data.truth.size()));
+    for (const VisibleObject &vo : msg.data.truth) {
+        writeRaw(os, vo.truthId);
+        writeRaw<std::uint8_t>(
+            os, static_cast<std::uint8_t>(vo.cls));
+        writeRaw(os, vo.range);
+        writeRaw(os, vo.bearing);
+        writeRaw(os, vo.imageHeightPx);
+        writeRaw(os, vo.worldPos.x);
+        writeRaw(os, vo.worldPos.y);
+        writeRaw(os, vo.worldVelocity.x);
+        writeRaw(os, vo.worldVelocity.y);
+        writeRaw(os, vo.occlusion);
+    }
+}
+
+bool
+readFrame(std::istream &is, ros::Stamped<CameraFrame> &msg)
+{
+    std::uint64_t bytes = 0;
+    if (!readHeader(is, msg.header, bytes))
+        return false;
+    msg.bytes = static_cast<std::size_t>(bytes);
+    std::uint32_t count = 0;
+    if (!(readRaw(is, msg.data.width) &&
+          readRaw(is, msg.data.height) && readRaw(is, count)))
+        return false;
+    msg.data.truth.resize(count);
+    for (VisibleObject &vo : msg.data.truth) {
+        std::uint8_t cls = 0;
+        if (!(readRaw(is, vo.truthId) && readRaw(is, cls) &&
+              readRaw(is, vo.range) && readRaw(is, vo.bearing) &&
+              readRaw(is, vo.imageHeightPx) &&
+              readRaw(is, vo.worldPos.x) &&
+              readRaw(is, vo.worldPos.y) &&
+              readRaw(is, vo.worldVelocity.x) &&
+              readRaw(is, vo.worldVelocity.y) &&
+              readRaw(is, vo.occlusion)))
+            return false;
+        vo.cls = static_cast<ActorClass>(cls);
+    }
+    return true;
+}
+
+void
+writeGnss(std::ostream &os, const ros::Stamped<GnssFix> &msg)
+{
+    writeHeader(os, msg.header, msg.bytes);
+    writeRaw(os, msg.data.position.x);
+    writeRaw(os, msg.data.position.y);
+    writeRaw(os, msg.data.position.z);
+    writeRaw(os, msg.data.horizontalErr);
+}
+
+bool
+readGnss(std::istream &is, ros::Stamped<GnssFix> &msg)
+{
+    std::uint64_t bytes = 0;
+    if (!readHeader(is, msg.header, bytes))
+        return false;
+    msg.bytes = static_cast<std::size_t>(bytes);
+    return readRaw(is, msg.data.position.x) &&
+           readRaw(is, msg.data.position.y) &&
+           readRaw(is, msg.data.position.z) &&
+           readRaw(is, msg.data.horizontalErr);
+}
+
+void
+writeImu(std::ostream &os, const ros::Stamped<ImuSample> &msg)
+{
+    writeHeader(os, msg.header, msg.bytes);
+    writeRaw(os, msg.data.yawRate);
+    writeRaw(os, msg.data.accelX);
+    writeRaw(os, msg.data.speed);
+}
+
+bool
+readImu(std::istream &is, ros::Stamped<ImuSample> &msg)
+{
+    std::uint64_t bytes = 0;
+    if (!readHeader(is, msg.header, bytes))
+        return false;
+    msg.bytes = static_cast<std::size_t>(bytes);
+    return readRaw(is, msg.data.yawRate) &&
+           readRaw(is, msg.data.accelX) &&
+           readRaw(is, msg.data.speed);
+}
+
+/** Write one channel block if the bag holds that channel. */
+template <typename T, typename WriteFn>
+void
+writeChannel(std::ostream &os, const ros::Bag &bag,
+             const char *topic, Tag tag, WriteFn write_fn)
+{
+    const ros::BagChannel<T> *channel = nullptr;
+    for (const ros::BagChannelBase *base : bag.channels()) {
+        if (base->name() == topic) {
+            channel = dynamic_cast<const ros::BagChannel<T> *>(base);
+            break;
+        }
+    }
+    if (!channel || channel->count() == 0)
+        return;
+    writeRaw<std::uint32_t>(os, tag);
+    writeRaw<std::uint64_t>(os, channel->count());
+    for (const auto &msg : channel->messages())
+        write_fn(os, msg);
+}
+
+} // namespace
+
+bool
+saveSensorBag(const ros::Bag &bag, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    writeRaw(os, magic);
+    writeRaw(os, version);
+    writeChannel<pc::PointCloud>(os, bag, topics::pointsRaw,
+                                 tagPoints, writePointCloud);
+    writeChannel<CameraFrame>(os, bag, topics::imageRaw, tagImages,
+                              writeFrame);
+    writeChannel<GnssFix>(os, bag, topics::gnss, tagGnss, writeGnss);
+    writeChannel<ImuSample>(os, bag, topics::imu, tagImu, writeImu);
+    return static_cast<bool>(os);
+}
+
+bool
+loadSensorBag(ros::Bag &bag, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::uint32_t file_magic = 0, file_version = 0;
+    if (!readRaw(is, file_magic) || file_magic != magic ||
+        !readRaw(is, file_version) || file_version != version)
+        return false;
+
+    std::uint32_t tag = 0;
+    while (readRaw(is, tag)) {
+        std::uint64_t count = 0;
+        if (!readRaw(is, count))
+            return false;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            switch (tag) {
+              case tagPoints: {
+                ros::Stamped<pc::PointCloud> msg;
+                if (!readPointCloud(is, msg))
+                    return false;
+                bag.channel<pc::PointCloud>(topics::pointsRaw)
+                    .add(std::move(msg));
+                break;
+              }
+              case tagImages: {
+                ros::Stamped<CameraFrame> msg;
+                if (!readFrame(is, msg))
+                    return false;
+                bag.channel<CameraFrame>(topics::imageRaw)
+                    .add(std::move(msg));
+                break;
+              }
+              case tagGnss: {
+                ros::Stamped<GnssFix> msg;
+                if (!readGnss(is, msg))
+                    return false;
+                bag.channel<GnssFix>(topics::gnss)
+                    .add(std::move(msg));
+                break;
+              }
+              case tagImu: {
+                ros::Stamped<ImuSample> msg;
+                if (!readImu(is, msg))
+                    return false;
+                bag.channel<ImuSample>(topics::imu)
+                    .add(std::move(msg));
+                break;
+              }
+              default:
+                return false; // unknown channel tag
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace av::world

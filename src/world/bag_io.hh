@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary bag persistence for the AV sensor channels.
+ *
+ * The paper's methodology depends on one fixed recording feeding
+ * every experiment (§III-A). In-memory ros::Bag already provides
+ * that within a process; this module persists the four sensor
+ * channels (/points_raw, /image_raw, /gnss_pose, /imu_raw) to a
+ * compact little-endian binary file so a recorded drive can be
+ * shared across processes/machines — the ROSBAG file itself.
+ *
+ * Format: "AVBG" magic, u32 version, then typed channel blocks,
+ * each a (tag, message count) header followed by fixed-layout
+ * records. Only the known sensor payload types are supported;
+ * derived topics are cheap to regenerate by replaying.
+ */
+
+#ifndef AVSCOPE_WORLD_BAG_IO_HH
+#define AVSCOPE_WORLD_BAG_IO_HH
+
+#include <string>
+
+#include "ros/bag.hh"
+#include "world/sensors.hh"
+
+namespace av::world {
+
+/**
+ * Write the sensor channels of @p bag to @p path.
+ * Channels absent from the bag are skipped.
+ * @return false on I/O failure
+ */
+bool saveSensorBag(const ros::Bag &bag, const std::string &path);
+
+/**
+ * Load a file written by saveSensorBag() into @p bag (channels are
+ * appended). @return false on I/O failure or format mismatch.
+ */
+bool loadSensorBag(ros::Bag &bag, const std::string &path);
+
+} // namespace av::world
+
+#endif // AVSCOPE_WORLD_BAG_IO_HH

@@ -1,0 +1,31 @@
+#include "world/map_builder.hh"
+
+#include "pointcloud/voxel_grid.hh"
+#include "util/random.hh"
+
+namespace av::world {
+
+pc::PointCloud
+MapBuilder::build(const Scenario &scenario, const LidarModel &lidar,
+                  sim::Tick duration) const
+{
+    util::Rng rng(config_.seed);
+    pc::PointCloud accumulated;
+
+    for (sim::Tick t = 0; t <= duration; t += config_.scanInterval) {
+        const pc::PointCloud scan = lidar.scan(scenario, t);
+        geom::Pose2 pose = scenario.egoPoseAt(t);
+        pose.p.x += rng.gaussian(0.0, config_.poseNoiseXy);
+        pose.p.y += rng.gaussian(0.0, config_.poseNoiseXy);
+        pose.yaw += rng.gaussian(0.0, config_.poseNoiseYaw);
+        const geom::Pose lifted = pose.lift(0.0);
+        for (const pc::Point &p : scan.points) {
+            const geom::Vec3 w = lifted.apply(p.vec());
+            accumulated.push_back(
+                pc::Point::fromVec(w, p.intensity, p.ring));
+        }
+    }
+    return pc::voxelGridDownsample(accumulated, config_.voxelLeaf);
+}
+
+} // namespace av::world

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the CPU model: timing, core contention, round-robin
+ * fairness, memory interference, accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace {
+
+using namespace av::hw;
+using av::sim::EventQueue;
+using av::sim::oneMs;
+using av::sim::Tick;
+
+CpuConfig
+config1Core(double freq_ghz = 1.0)
+{
+    CpuConfig c;
+    c.cores = 1;
+    c.freqGhz = freq_ghz;
+    c.memPenaltyCyclesPerByte = 0.0;
+    return c;
+}
+
+TEST(Cpu, SingleTaskRunsAtFrequency)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, config1Core(2.0)); // 2 cycles per ns
+    Tick done_at = 0;
+    cpu.submit(CpuTask{"a", 2e6, 0.0, 0.0, [&] { done_at = eq.now(); }});
+    eq.runUntil();
+    EXPECT_NEAR(static_cast<double>(done_at), 1e6, 10.0); // 1 ms
+    EXPECT_EQ(cpu.accounting().tasksCompleted, 1u);
+}
+
+TEST(Cpu, TwoTasksOneCoreSerializeRoundRobin)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, config1Core(1.0));
+    std::vector<Tick> done(2, 0);
+    // Each task = 4 ms of work; together 8 ms on one core.
+    cpu.submit(CpuTask{"a", 4e6, 0.0, 0.0, [&] { done[0] = eq.now(); }});
+    cpu.submit(CpuTask{"b", 4e6, 0.0, 0.0, [&] { done[1] = eq.now(); }});
+    eq.runUntil();
+    // Round-robin: both finish near the end, total ~8 ms.
+    EXPECT_NEAR(av::sim::ticksToMs(done[1]), 8.0, 0.1);
+    EXPECT_GT(av::sim::ticksToMs(done[0]), 5.0); // interleaved, not FIFO
+    EXPECT_GT(cpu.accounting().preemptions, 0u);
+}
+
+TEST(Cpu, TwoCoresRunInParallel)
+{
+    EventQueue eq;
+    CpuConfig cfg = config1Core(1.0);
+    cfg.cores = 2;
+    CpuModel cpu(eq, cfg);
+    std::vector<Tick> done;
+    for (int i = 0; i < 2; ++i)
+        cpu.submit(CpuTask{"t" + std::to_string(i), 4e6, 0.0, 0.0, [&] { done.push_back(eq.now()); }});
+    eq.runUntil();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(av::sim::ticksToMs(done[0]), 4.0, 0.1);
+    EXPECT_NEAR(av::sim::ticksToMs(done[1]), 4.0, 0.1);
+}
+
+TEST(Cpu, QueueingDelaysThirdTask)
+{
+    EventQueue eq;
+    CpuConfig cfg = config1Core(1.0);
+    cfg.cores = 2;
+    CpuModel cpu(eq, cfg);
+    Tick third_done = 0;
+    cpu.submit(CpuTask{"a", 2e6, 0.0, 0.0, [] {}});
+    cpu.submit(CpuTask{"b", 2e6, 0.0, 0.0, [] {}});
+    cpu.submit(CpuTask{"c", 1e6, 0.0, 0.0, [&] { third_done = eq.now(); }});
+    EXPECT_EQ(cpu.queued(), 1u);
+    eq.runUntil();
+    // c waits behind a/b; RR slices let it in after ~2 ms quantum
+    // rotations; it must finish later than it would alone (1 ms).
+    EXPECT_GT(av::sim::ticksToMs(third_done), 1.5);
+}
+
+TEST(Cpu, MemoryInterferenceSlowsCoRunners)
+{
+    // Two memory-hungry tasks on two separate cores: without
+    // interference each takes 4 ms; with the shared bus congested
+    // they must take measurably longer.
+    const auto run = [](double penalty) {
+        EventQueue eq;
+        CpuConfig cfg;
+        cfg.cores = 2;
+        cfg.freqGhz = 1.0;
+        cfg.memBandwidthGBs = 10.0;
+        cfg.memPenaltyCyclesPerByte = penalty;
+        CpuModel cpu(eq, cfg);
+        Tick last = 0;
+        for (int i = 0; i < 2; ++i)
+            cpu.submit(CpuTask{"m" + std::to_string(i), 4e6, 8.0, 8.0, [&, i] { last = eq.now(); }});
+        eq.runUntil();
+        return av::sim::ticksToMs(last);
+    };
+    const double isolated = run(0.0);
+    const double contended = run(2.0);
+    EXPECT_NEAR(isolated, 4.0, 0.1);
+    EXPECT_GT(contended, isolated * 1.3);
+}
+
+TEST(Cpu, MemoryLightTaskLessAffectedThanHog)
+{
+    // A compute-bound task sharing the machine with a memory hog is
+    // slowed far less than the hog itself: interference scales with
+    // the victim's own memory intensity.
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 3;
+    cfg.freqGhz = 1.0;
+    cfg.memBandwidthGBs = 10.0;
+    cfg.memPenaltyCyclesPerByte = 2.0;
+    CpuModel cpu(eq, cfg);
+    Tick light_done = 0, hog_done = 0;
+    cpu.submit(CpuTask{"hog1", 20e6, 6.0, 6.0, [] {}});
+    cpu.submit(CpuTask{"hog2", 20e6, 6.0, 6.0, [&] { hog_done = eq.now(); }});
+    cpu.submit(CpuTask{"light", 4e6, 0.01, 0.01, [&] { light_done = eq.now(); }});
+    eq.runUntil();
+    // Alone the light task would take 4 ms; allow mild slowdown.
+    EXPECT_LT(av::sim::ticksToMs(light_done), 6.0);
+    // Each hog alone would take 20 ms; with a co-hog it must be
+    // substantially slower.
+    EXPECT_GT(av::sim::ticksToMs(hog_done), 30.0);
+}
+
+TEST(Cpu, MemSlowdownClamped)
+{
+    // Absurd intensities must not stall the machine indefinitely:
+    // the slowdown clamps at maxMemSlowdown.
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 2;
+    cfg.freqGhz = 1.0;
+    cfg.memBandwidthGBs = 1.0;
+    cfg.memPenaltyCyclesPerByte = 100.0;
+    cfg.maxMemSlowdown = 10.0;
+    CpuModel cpu(eq, cfg);
+    Tick done = 0;
+    cpu.submit(CpuTask{"a", 1e6, 50.0, 50.0, [] {}});
+    cpu.submit(CpuTask{"b", 1e6, 50.0, 50.0, [&] { done = eq.now(); }});
+    eq.runUntil();
+    EXPECT_NEAR(av::sim::ticksToMs(done), 10.0, 0.5); // 10x of 1 ms
+}
+
+TEST(Cpu, AccountingSumsBusyTime)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, config1Core(1.0));
+    cpu.submit(CpuTask{"a", 3e6, 0.0, 0.0, [] {}});
+    cpu.submit(CpuTask{"b", 5e6, 0.0, 0.0, [] {}});
+    eq.runUntil();
+    const CpuAccounting &acct = cpu.accounting();
+    EXPECT_NEAR(acct.busyCoreSeconds, 8e-3, 1e-4);
+    EXPECT_NEAR(acct.busySecondsByOwner.at("a"), 3e-3, 1e-4);
+    EXPECT_NEAR(acct.busySecondsByOwner.at("b"), 5e-3, 1e-4);
+}
+
+TEST(Cpu, CompletionCallbackMaySubmit)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, config1Core(1.0));
+    Tick second_done = 0;
+    cpu.submit(CpuTask{"first", 1e6, 0.0, 0.0, [&] {
+        cpu.submit(CpuTask{"second", 1e6, 0.0, 0.0, [&] { second_done = eq.now(); }});
+    }});
+    eq.runUntil();
+    EXPECT_NEAR(av::sim::ticksToMs(second_done), 2.0, 0.1);
+}
+
+TEST(Cpu, DramTrafficAccounted)
+{
+    EventQueue eq;
+    CpuConfig cfg = config1Core(1.0);
+    CpuModel cpu(eq, cfg);
+    cpu.submit(CpuTask{"t", 1e6, 2.0, 2.0, [] {}});
+    eq.runUntil();
+    EXPECT_NEAR(cpu.accounting().dramBytes, 2e6, 1.0);
+}
+
+TEST(Cpu, ManyTasksAllComplete)
+{
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 4;
+    cfg.freqGhz = 3.0;
+    CpuModel cpu(eq, cfg);
+    int completed = 0;
+    for (int i = 0; i < 200; ++i)
+        cpu.submit(CpuTask{"t" + std::to_string(i % 7),
+                           1e5 + 1e4 * i, 0.1, 0.1,
+                           [&] { ++completed; }});
+    eq.runUntil();
+    EXPECT_EQ(completed, 200);
+    EXPECT_EQ(cpu.running(), 0u);
+    EXPECT_EQ(cpu.queued(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the GPU model: roofline durations, FIFO queueing,
+ * copy engine, accounting, and tests for power + phase chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "hw/machine.hh"
+#include "hw/power.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace {
+
+using namespace av::hw;
+using av::sim::EventQueue;
+using av::sim::Tick;
+
+GpuConfig
+simpleGpu()
+{
+    GpuConfig cfg;
+    cfg.tflops = 10.0;
+    cfg.computeEfficiency = 1.0; // exact roofline for the math below
+    cfg.memBandwidthGBs = 100.0;
+    cfg.pcieGBs = 10.0;
+    cfg.kernelOverhead = 0;
+    cfg.copyOverhead = 0;
+    return cfg;
+}
+
+TEST(Gpu, KernelDurationComputeBound)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    // 10 TFLOPS = 1e4 flops/ns. 1e7 flops -> 1000 ns.
+    const Tick d = gpu.kernelDuration(GpuKernel{1e7, 0.0});
+    EXPECT_EQ(d, 1000u);
+}
+
+TEST(Gpu, KernelDurationMemoryBound)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    // 100 GB/s = 100 bytes/ns. 1e6 bytes -> 10000 ns > compute.
+    const Tick d = gpu.kernelDuration(GpuKernel{1e6, 1e6});
+    EXPECT_EQ(d, 10000u);
+}
+
+TEST(Gpu, CopyDuration)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    // 10 GB/s = 10 bytes/ns. 1e5 bytes -> 1e4 ns.
+    EXPECT_EQ(gpu.copyDuration(1e5), 10000u);
+}
+
+TEST(Gpu, JobRunsStagesInOrder)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    Tick done = 0;
+    GpuJob job;
+    job.owner = "ssd";
+    job.h2dBytes = 1e5;                       // 10 us
+    job.kernels = {GpuKernel{1e7, 0.0},       // 1 us
+                   GpuKernel{2e7, 0.0}};      // 2 us
+    job.d2hBytes = 2e5;                       // 20 us
+    job.onComplete = [&] { done = eq.now(); };
+    gpu.submit(std::move(job));
+    eq.runUntil();
+    EXPECT_EQ(done, 10000u + 1000u + 2000u + 20000u);
+    EXPECT_EQ(gpu.accounting().jobsCompleted, 1u);
+    EXPECT_EQ(gpu.accounting().kernelsExecuted, 2u);
+}
+
+TEST(Gpu, SecondJobQueuesBehindFirst)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    std::vector<Tick> done(2);
+    for (int i = 0; i < 2; ++i) {
+        GpuJob job;
+        job.owner = "owner" + std::to_string(i);
+        job.kernels = {GpuKernel{1e8, 0.0}}; // 10 us each
+        job.onComplete = [&done, &eq, i] { done[i] = eq.now(); };
+        gpu.submit(std::move(job));
+    }
+    eq.runUntil();
+    EXPECT_EQ(done[0], 10000u);
+    EXPECT_EQ(done[1], 20000u); // serialized on the compute engine
+}
+
+TEST(Gpu, KernelsInterleaveAcrossJobs)
+{
+    // Job A has two 10 us kernels, job B one 10 us kernel submitted
+    // right after. Kernel-granular FIFO: A1, B1, A2 -> B finishes
+    // before A.
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    Tick done_a = 0, done_b = 0;
+    GpuJob a;
+    a.owner = "a";
+    a.kernels = {GpuKernel{1e8, 0.0}, GpuKernel{1e8, 0.0}};
+    a.onComplete = [&] { done_a = eq.now(); };
+    GpuJob b;
+    b.owner = "b";
+    b.kernels = {GpuKernel{1e8, 0.0}};
+    b.onComplete = [&] { done_b = eq.now(); };
+    gpu.submit(std::move(a));
+    gpu.submit(std::move(b));
+    eq.runUntil();
+    EXPECT_LT(done_b, done_a);
+    EXPECT_EQ(done_a, 30000u);
+    EXPECT_EQ(done_b, 20000u);
+}
+
+TEST(Gpu, CopiesOverlapCompute)
+{
+    // Job A: pure compute. Job B: pure copy. They proceed in
+    // parallel on separate engines.
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    Tick done_a = 0, done_b = 0;
+    GpuJob a;
+    a.owner = "a";
+    a.kernels = {GpuKernel{2e8, 0.0}}; // 20 us compute
+    a.onComplete = [&] { done_a = eq.now(); };
+    GpuJob b;
+    b.owner = "b";
+    b.h2dBytes = 2e5; // 20 us copy
+    b.onComplete = [&] { done_b = eq.now(); };
+    gpu.submit(std::move(a));
+    gpu.submit(std::move(b));
+    eq.runUntil();
+    EXPECT_EQ(done_a, 20000u);
+    EXPECT_EQ(done_b, 20000u);
+}
+
+TEST(Gpu, AccountingTracksOwnersAndResidency)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    GpuJob job;
+    job.owner = "cluster";
+    job.kernels = {GpuKernel{1e8, 0.0, 2.0}}; // weight 2
+    job.onComplete = [] {};
+    gpu.submit(std::move(job));
+    eq.runUntil();
+    const GpuAccounting &acct = gpu.accounting();
+    EXPECT_NEAR(acct.kernelActiveSeconds, 1e-5, 1e-9);
+    EXPECT_NEAR(acct.weightedActiveSeconds, 2e-5, 1e-9);
+    EXPECT_NEAR(acct.activeSecondsByOwner.at("cluster"), 1e-5, 1e-9);
+    EXPECT_NEAR(acct.residentSecondsByOwner.at("cluster"), 1e-5,
+                1e-9);
+}
+
+TEST(Gpu, ResidencyIncludesQueueWait)
+{
+    EventQueue eq;
+    GpuModel gpu(eq, simpleGpu());
+    GpuJob first;
+    first.owner = "hog";
+    first.kernels = {GpuKernel{1e9, 0.0}}; // 100 us
+    first.onComplete = [] {};
+    GpuJob second;
+    second.owner = "victim";
+    second.kernels = {GpuKernel{1e7, 0.0}}; // 1 us active
+    second.onComplete = [] {};
+    gpu.submit(std::move(first));
+    gpu.submit(std::move(second));
+    eq.runUntil();
+    const GpuAccounting &acct = gpu.accounting();
+    // victim was resident ~101 us but active only 1 us.
+    EXPECT_NEAR(acct.residentSecondsByOwner.at("victim"), 101e-6,
+                2e-6);
+    EXPECT_NEAR(acct.activeSecondsByOwner.at("victim"), 1e-6, 1e-7);
+}
+
+TEST(Power, CpuScalesWithBusyCores)
+{
+    PowerModel power(PowerConfig{});
+    const double idle = power.cpuPower(0.0, 0.0);
+    const double busy = power.cpuPower(4.0, 5.0);
+    EXPECT_DOUBLE_EQ(idle, power.config().cpuIdleW);
+    EXPECT_GT(busy, idle + 4.0 * power.config().cpuPerCoreW - 1e-9);
+}
+
+TEST(Power, GpuSaturatesAtWeightOne)
+{
+    PowerModel power(PowerConfig{});
+    const double p1 = power.gpuPower(1.0, 0.0);
+    const double p2 = power.gpuPower(5.0, 0.0); // clamped
+    EXPECT_DOUBLE_EQ(p1, p2);
+    EXPECT_DOUBLE_EQ(power.gpuPower(0.0, 0.0),
+                     power.config().gpuIdleW);
+}
+
+TEST(Machine, PhaseChainAlternatesCpuGpu)
+{
+    EventQueue eq;
+    MachineConfig cfg;
+    cfg.cpu.cores = 1;
+    cfg.cpu.freqGhz = 1.0;
+    cfg.cpu.memPenaltyCyclesPerByte = 0.0;
+    cfg.gpu = simpleGpu();
+    Machine machine(eq, cfg);
+
+    Tick done = 0;
+    std::vector<Phase> phases;
+    phases.push_back(Phase::makeCpu(CpuTask{"n", 1e6, 0.0, 0.0, nullptr}));
+    GpuJob job;
+    job.owner = "n";
+    job.kernels = {GpuKernel{1e7, 0.0}}; // 1 us
+    phases.push_back(Phase::makeGpu(std::move(job)));
+    phases.push_back(Phase::makeCpu(CpuTask{"n", 2e6, 0.0, 0.0, nullptr}));
+    runPhases(machine, std::move(phases), [&] { done = eq.now(); });
+    eq.runUntil();
+    EXPECT_EQ(done, 1000000u + 1000u + 2000000u);
+}
+
+} // namespace

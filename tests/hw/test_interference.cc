@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Focused tests of the CPU interference semantics: demand versus
+ * sensitivity, the l1BytesPerCycle fallback, demand-ratio
+ * bookkeeping, and scheduler accounting under mixed loads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cpu.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace {
+
+using namespace av::hw;
+using av::sim::EventQueue;
+using av::sim::Tick;
+
+TEST(Interference, SensitivityDefaultsToDemand)
+{
+    CpuTask task;
+    task.memBytesPerCycle = 0.5;
+    EXPECT_DOUBLE_EQ(task.effectiveL1BytesPerCycle(), 0.5);
+    task.l1BytesPerCycle = 2.0;
+    EXPECT_DOUBLE_EQ(task.effectiveL1BytesPerCycle(), 2.0);
+}
+
+TEST(Interference, HighSensitivityLowDemandVictim)
+{
+    // A task whose working set lives in L2 (high L1 traffic, low
+    // DRAM demand) is hurt by a streaming co-runner even though it
+    // adds no bus pressure itself.
+    const auto run = [](double victim_l1) {
+        EventQueue eq;
+        CpuConfig cfg;
+        cfg.cores = 2;
+        cfg.freqGhz = 1.0;
+        cfg.memBandwidthGBs = 10.0;
+        cfg.memPenaltyCyclesPerByte = 10.0;
+        CpuModel cpu(eq, cfg);
+        Tick victim_done = 0;
+        CpuTask hog;
+        hog.owner = "hog";
+        hog.cycles = 40e6;
+        hog.memBytesPerCycle = 4.0; // streams the bus
+        hog.l1BytesPerCycle = 4.0;
+        hog.onComplete = [] {};
+        cpu.submit(std::move(hog));
+        CpuTask victim;
+        victim.owner = "victim";
+        victim.cycles = 4e6;
+        victim.memBytesPerCycle = 0.01; // almost no DRAM demand
+        victim.l1BytesPerCycle = victim_l1;
+        victim.onComplete = [&] { victim_done = eq.now(); };
+        cpu.submit(std::move(victim));
+        eq.runUntil();
+        return av::sim::ticksToMs(victim_done);
+    };
+    const double insensitive = run(0.01);
+    const double sensitive = run(1.5);
+    EXPECT_NEAR(insensitive, 4.0, 0.5);
+    EXPECT_GT(sensitive, insensitive * 1.5);
+}
+
+TEST(Interference, NoCoRunnerNoSlowdown)
+{
+    // Sensitivity alone is free: an L1-heavy task alone on the
+    // machine runs at nominal speed.
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 1;
+    cfg.freqGhz = 1.0;
+    cfg.memBandwidthGBs = 10.0;
+    cfg.memPenaltyCyclesPerByte = 10.0;
+    CpuModel cpu(eq, cfg);
+    Tick done = 0;
+    CpuTask task;
+    task.owner = "solo";
+    task.cycles = 5e6;
+    task.memBytesPerCycle = 0.05;
+    task.l1BytesPerCycle = 2.0;
+    task.onComplete = [&] { done = eq.now(); };
+    cpu.submit(std::move(task));
+    eq.runUntil();
+    // Own demand barely registers; ~5 ms nominal.
+    EXPECT_NEAR(av::sim::ticksToMs(done), 5.0, 0.15);
+}
+
+TEST(Interference, DemandRatioTracksRunningSet)
+{
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 2;
+    cfg.freqGhz = 2.0;
+    cfg.memBandwidthGBs = 8.0;
+    CpuModel cpu(eq, cfg);
+    EXPECT_DOUBLE_EQ(cpu.memDemandRatio(), 0.0);
+    CpuTask a;
+    a.owner = "a";
+    a.cycles = 1e9;
+    a.memBytesPerCycle = 1.0; // 2 GB/s at 2 GHz
+    a.onComplete = [] {};
+    cpu.submit(std::move(a));
+    EXPECT_NEAR(cpu.memDemandRatio(), 2.0 / 8.0, 1e-9);
+    CpuTask b = {};
+    b.owner = "b";
+    b.cycles = 1e9;
+    b.memBytesPerCycle = 2.0; // 4 GB/s
+    b.onComplete = [] {};
+    cpu.submit(std::move(b));
+    EXPECT_NEAR(cpu.memDemandRatio(), 6.0 / 8.0, 1e-9);
+}
+
+TEST(Interference, DisabledByZeroPenalty)
+{
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 2;
+    cfg.freqGhz = 1.0;
+    cfg.memBandwidthGBs = 1.0; // saturated bus
+    cfg.memPenaltyCyclesPerByte = 0.0;
+    CpuModel cpu(eq, cfg);
+    Tick done = 0;
+    for (int i = 0; i < 2; ++i) {
+        CpuTask t;
+        t.owner = "t" + std::to_string(i);
+        t.cycles = 3e6;
+        t.memBytesPerCycle = 10.0;
+        t.l1BytesPerCycle = 10.0;
+        t.onComplete = [&] { done = eq.now(); };
+        cpu.submit(std::move(t));
+    }
+    eq.runUntil();
+    EXPECT_NEAR(av::sim::ticksToMs(done), 3.0, 0.1);
+}
+
+TEST(Interference, PreemptionCountsAccumulate)
+{
+    EventQueue eq;
+    CpuConfig cfg;
+    cfg.cores = 1;
+    cfg.freqGhz = 1.0;
+    cfg.quantum = av::sim::oneMs;
+    CpuModel cpu(eq, cfg);
+    int completed = 0;
+    for (int i = 0; i < 3; ++i) {
+        CpuTask t;
+        t.owner = "t";
+        t.cycles = 5e6; // 5 ms each on 1 GHz
+        t.onComplete = [&] { ++completed; };
+        cpu.submit(std::move(t));
+    }
+    eq.runUntil();
+    EXPECT_EQ(completed, 3);
+    // 15 ms of work in 1 ms slices with 2 waiting: many rotations.
+    EXPECT_GT(cpu.accounting().preemptions, 5u);
+}
+
+} // namespace

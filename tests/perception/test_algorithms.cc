@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Unit tests for the perception algorithms: ground filtering,
+ * clustering, fusion, motion prediction, costmaps, vision model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perception/costmap.hh"
+#include "perception/euclidean_cluster.hh"
+#include "perception/fusion.hh"
+#include "perception/motion_predict.hh"
+#include "perception/ray_ground_filter.hh"
+#include "perception/vision_model.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace av;
+using namespace av::perception;
+
+/** A flat ground disc plus box-shaped obstacles. */
+pc::PointCloud
+syntheticScene(const std::vector<geom::Vec3> &object_centers,
+               std::uint64_t seed = 1)
+{
+    util::Rng rng(seed);
+    pc::PointCloud cloud;
+    // Ground points out to 30 m.
+    for (int i = 0; i < 4000; ++i) {
+        const double r = rng.uniform(2.0, 30.0);
+        const double a = rng.uniform(0.0, 2 * M_PI);
+        cloud.push_back(pc::Point::fromVec(
+            {r * std::cos(a), r * std::sin(a),
+             rng.gaussian(0.0, 0.015)}));
+    }
+    // Object points: small dense boxes 1.6 m tall.
+    for (const geom::Vec3 &c : object_centers) {
+        for (int i = 0; i < 150; ++i) {
+            cloud.push_back(pc::Point::fromVec(
+                {c.x + rng.uniform(-0.9, 0.9),
+                 c.y + rng.uniform(-0.7, 0.7),
+                 rng.uniform(0.1, 1.6)}));
+        }
+    }
+    return cloud;
+}
+
+TEST(RayGroundFilter, SeparatesGroundFromObstacles)
+{
+    const pc::PointCloud scene =
+        syntheticScene({{10, 0, 0}, {-8, 6, 0}});
+    const GroundSplit split =
+        rayGroundFilter(scene, RayGroundConfig());
+    // All 4000 ground points should be classified ground; most of
+    // the 300 object points should not (points at an object's base
+    // are genuinely ground-ambiguous for any slope-based filter).
+    EXPECT_GT(split.ground.size(), 3500u);
+    EXPECT_GT(split.noGround.size(), 200u);
+    EXPECT_EQ(split.ground.size() + split.noGround.size(),
+              scene.size());
+    // Obstacle points are tall; ground points are near zero.
+    double max_ground_z = 0.0;
+    for (const auto &p : split.ground.points)
+        max_ground_z = std::max(max_ground_z, double(p.z));
+    EXPECT_LT(max_ground_z, 0.6);
+}
+
+TEST(RayGroundFilter, EmptyCloud)
+{
+    const GroundSplit split =
+        rayGroundFilter(pc::PointCloud{}, RayGroundConfig());
+    EXPECT_TRUE(split.ground.empty());
+    EXPECT_TRUE(split.noGround.empty());
+}
+
+TEST(EuclideanCluster, FindsDistinctObjects)
+{
+    pc::PointCloud obstacles;
+    util::Rng rng(3);
+    const std::vector<geom::Vec2> centers = {
+        {8, 0}, {-6, 5}, {0, -12}};
+    for (const auto &c : centers) {
+        for (int i = 0; i < 120; ++i)
+            obstacles.push_back(pc::Point::fromVec(
+                {c.x + rng.uniform(-0.8, 0.8),
+                 c.y + rng.uniform(-0.6, 0.6),
+                 rng.uniform(0.2, 1.5)}));
+    }
+    const auto clusters =
+        euclideanCluster(obstacles, ClusterConfig());
+    ASSERT_EQ(clusters.size(), 3u);
+    // Each cluster centroid close to a seeded center.
+    for (const auto &cl : clusters) {
+        double best = 1e9;
+        for (const auto &c : centers)
+            best = std::min(best,
+                            (geom::Vec2{cl.centroid.x,
+                                        cl.centroid.y} -
+                             c)
+                                .norm());
+        EXPECT_LT(best, 0.5);
+        EXPECT_GT(cl.height, 1.0);
+        EXPECT_GT(cl.pointCount, 100u);
+    }
+}
+
+TEST(EuclideanCluster, MinPointsRejectsNoise)
+{
+    pc::PointCloud sparse;
+    for (int i = 0; i < 5; ++i)
+        sparse.push_back(
+            pc::Point::fromVec({i * 10.0, 0.0, 1.0}));
+    EXPECT_TRUE(euclideanCluster(sparse, ClusterConfig()).empty());
+}
+
+TEST(EuclideanCluster, RejectsWallSizedObjects)
+{
+    pc::PointCloud wall;
+    util::Rng rng(4);
+    // Below maxPoints so the wall stays one cluster, but 28 m long:
+    // beyond maxObjectDim.
+    for (int i = 0; i < 1000; ++i)
+        wall.push_back(pc::Point::fromVec(
+            {rng.uniform(-14.0, 14.0), rng.gaussian(0.0, 0.05),
+             rng.uniform(0.0, 2.0)}));
+    EXPECT_TRUE(euclideanCluster(wall, ClusterConfig()).empty());
+}
+
+TEST(EuclideanCluster, CropRemovesFarAndTall)
+{
+    pc::PointCloud cloud;
+    cloud.push_back(pc::Point::fromVec({5, 0, 1.0}));   // keep
+    cloud.push_back(pc::Point::fromVec({5, 0, 5.0}));   // too tall
+    cloud.push_back(pc::Point::fromVec({100, 0, 1.0})); // too far
+    const auto cropped =
+        cropForClustering(cloud, ClusterConfig());
+    EXPECT_EQ(cropped.size(), 1u);
+}
+
+TEST(VisionModel, DetectsLargeNearbyObjects)
+{
+    world::CameraFrame frame;
+    frame.width = 1280;
+    frame.height = 720;
+    world::VisibleObject vo;
+    vo.truthId = 7;
+    vo.cls = world::ActorClass::Car;
+    vo.range = 12.0;
+    vo.bearing = 0.1;
+    vo.imageHeightPx = 90.0; // large
+    frame.truth.push_back(vo);
+
+    int detections = 0;
+    for (int t = 0; t < 100; ++t) {
+        const ObjectList out = detectObjects(
+            frame, t * 100 * sim::oneMs, DetectorKind::Ssd512);
+        for (const auto &d : out.objects)
+            detections += d.truthId == 7;
+    }
+    EXPECT_GT(detections, 85); // recallBase 0.96
+}
+
+TEST(VisionModel, SmallObjectsRecallOrdering)
+{
+    // SSD512 must beat SSD300 on small objects (the paper's
+    // resolution/latency trade-off).
+    world::CameraFrame frame;
+    frame.width = 1280;
+    frame.height = 720;
+    world::VisibleObject vo;
+    vo.truthId = 3;
+    vo.cls = world::ActorClass::Pedestrian;
+    vo.range = 50.0;
+    vo.imageHeightPx = 24.0; // small
+    frame.truth.push_back(vo);
+
+    int ssd512 = 0, ssd300 = 0;
+    for (int t = 0; t < 400; ++t) {
+        const auto big = detectObjects(frame, t * sim::oneMs,
+                                       DetectorKind::Ssd512);
+        const auto small = detectObjects(frame, t * sim::oneMs,
+                                         DetectorKind::Ssd300);
+        for (const auto &d : big.objects)
+            ssd512 += d.truthId == 3;
+        for (const auto &d : small.objects)
+            ssd300 += d.truthId == 3;
+    }
+    EXPECT_GT(ssd512, ssd300);
+}
+
+TEST(VisionModel, OcclusionSuppressesDetection)
+{
+    world::CameraFrame frame;
+    frame.width = 1280;
+    frame.height = 720;
+    world::VisibleObject vo;
+    vo.truthId = 9;
+    vo.range = 10.0;
+    vo.imageHeightPx = 100.0;
+    vo.occlusion = 0.9;
+    frame.truth.push_back(vo);
+    int detections = 0;
+    for (int t = 0; t < 100; ++t) {
+        const auto out = detectObjects(frame, t * sim::oneMs,
+                                       DetectorKind::Yolov3);
+        for (const auto &d : out.objects)
+            detections += d.truthId == 9;
+    }
+    EXPECT_LT(detections, 45);
+}
+
+TEST(Fusion, MatchesClusterWithVisionLabel)
+{
+    // Ego at origin; a cluster at (10, 0); a vision detection at
+    // bearing 0 classifying it as Car.
+    ObjectList lidar;
+    DetectedObject cluster;
+    cluster.position = {10, 0};
+    cluster.width = 1.8;
+    cluster.length = 4.4;
+    lidar.objects.push_back(cluster);
+
+    ObjectList vision;
+    DetectedObject vis;
+    vis.label = Label::Car;
+    vis.confidence = 0.9;
+    vis.bearing = 0.0;
+    vis.rangeEstimate = 10.5;
+    vision.objects.push_back(vis);
+
+    const ObjectList fused = fuseObjects(
+        lidar, vision, geom::Pose2{}, FusionConfig());
+    ASSERT_EQ(fused.objects.size(), 1u);
+    EXPECT_EQ(fused.objects[0].label, Label::Car);
+    // Geometry comes from the LiDAR cluster.
+    EXPECT_NEAR(fused.objects[0].position.x, 10.0, 1e-9);
+}
+
+TEST(Fusion, BearingMismatchKeepsUnknown)
+{
+    ObjectList lidar;
+    DetectedObject cluster;
+    cluster.position = {10, 0};
+    cluster.width = 1.8;
+    lidar.objects.push_back(cluster);
+
+    ObjectList vision;
+    DetectedObject vis;
+    vis.label = Label::Car;
+    vis.confidence = 0.9;
+    vis.bearing = 1.2; // way off
+    vis.rangeEstimate = 10.0;
+    vision.objects.push_back(vis);
+
+    const ObjectList fused = fuseObjects(
+        lidar, vision, geom::Pose2{}, FusionConfig());
+    // Cluster stays Unknown + a vision-only object is created.
+    ASSERT_EQ(fused.objects.size(), 2u);
+    EXPECT_EQ(fused.objects[0].label, Label::Unknown);
+    EXPECT_EQ(fused.objects[1].label, Label::Car);
+}
+
+TEST(Fusion, RespectsEgoFrame)
+{
+    // Ego rotated 90 deg: a cluster directly "ahead" in world +y.
+    ObjectList lidar;
+    DetectedObject cluster;
+    cluster.position = {0, 10};
+    cluster.width = 1.8;
+    lidar.objects.push_back(cluster);
+
+    ObjectList vision;
+    DetectedObject vis;
+    vis.label = Label::Pedestrian;
+    vis.confidence = 0.9;
+    vis.bearing = 0.0;
+    vis.rangeEstimate = 10.0;
+    vision.objects.push_back(vis);
+
+    const geom::Pose2 ego{{0, 0}, M_PI / 2};
+    const ObjectList fused =
+        fuseObjects(lidar, vision, ego, FusionConfig());
+    ASSERT_GE(fused.objects.size(), 1u);
+    EXPECT_EQ(fused.objects[0].label, Label::Pedestrian);
+}
+
+TEST(MotionPredict, ConstantVelocityPath)
+{
+    ObjectList tracked;
+    DetectedObject obj;
+    obj.position = {0, 0};
+    obj.yaw = 0.0;
+    obj.hasVelocity = true;
+    obj.velocity = {10, 0};
+    tracked.objects.push_back(obj);
+
+    PredictConfig cfg;
+    cfg.horizonSec = 3.0;
+    cfg.stepSec = 0.15;
+    const ObjectList out = predictMotion(tracked, cfg);
+    ASSERT_EQ(out.objects.size(), 1u);
+    const auto &path = out.objects[0].predictedPath;
+    ASSERT_EQ(path.size(), 20u);
+    EXPECT_NEAR(path.back().x, 30.0, 0.5);
+    EXPECT_NEAR(path.back().y, 0.0, 0.2);
+}
+
+TEST(MotionPredict, TurningPathCurves)
+{
+    ObjectList tracked;
+    DetectedObject obj;
+    obj.position = {0, 0};
+    obj.yaw = 0.0;
+    obj.hasVelocity = true;
+    obj.velocity = {10, 0};
+    obj.yawRate = 0.5;
+    tracked.objects.push_back(obj);
+    const ObjectList out = predictMotion(tracked, PredictConfig());
+    const auto &path = out.objects[0].predictedPath;
+    ASSERT_FALSE(path.empty());
+    EXPECT_GT(path.back().y, 5.0); // turned left
+}
+
+TEST(MotionPredict, NoVelocityNoPath)
+{
+    ObjectList tracked;
+    DetectedObject obj;
+    obj.hasVelocity = false;
+    tracked.objects.push_back(obj);
+    const ObjectList out = predictMotion(tracked, PredictConfig());
+    EXPECT_TRUE(out.objects[0].predictedPath.empty());
+}
+
+TEST(Costmap, ObjectFootprintMarked)
+{
+    ObjectList objects;
+    DetectedObject obj;
+    obj.position = {5, 0};
+    obj.length = 4.0;
+    obj.width = 2.0;
+    obj.yaw = 0.0;
+    objects.objects.push_back(obj);
+
+    const Costmap map = generateObjectCostmap(
+        objects, geom::Pose2{}, CostmapConfig());
+    ASSERT_GT(map.cellsX, 0u);
+    // Cell at the object's center must be occupied.
+    const auto cx = static_cast<std::uint32_t>(
+        (5.0 - map.origin.x) / map.resolution);
+    const auto cy = static_cast<std::uint32_t>(
+        (0.0 - map.origin.y) / map.resolution);
+    EXPECT_GT(map.at(cx, cy), 0.9f);
+    // A far empty corner is free.
+    EXPECT_FLOAT_EQ(map.at(5, 5), 0.0f);
+}
+
+TEST(Costmap, PredictedPathMarkedAtLowerCost)
+{
+    ObjectList objects;
+    DetectedObject obj;
+    obj.position = {-10, -10};
+    obj.length = 1.0;
+    obj.width = 1.0;
+    obj.predictedPath = {{5, 5}};
+    objects.objects.push_back(obj);
+    const Costmap map = generateObjectCostmap(
+        objects, geom::Pose2{}, CostmapConfig());
+    const auto cx = static_cast<std::uint32_t>(
+        (5.0 - map.origin.x) / map.resolution);
+    const auto cy = static_cast<std::uint32_t>(
+        (5.0 - map.origin.y) / map.resolution);
+    EXPECT_GT(map.at(cx, cy), 0.4f);
+    EXPECT_LT(map.at(cx, cy), 0.9f);
+}
+
+TEST(Costmap, PointsLayerMarksReturns)
+{
+    pc::PointCloud no_ground;
+    no_ground.push_back(pc::Point::fromVec({8, 3, 1.0}));
+    const geom::Pose2 ego{{100, 50}, 0.0};
+    const Costmap map =
+        generatePointsCostmap(no_ground, ego, CostmapConfig());
+    const auto cx = static_cast<std::uint32_t>(
+        (108.0 - map.origin.x) / map.resolution);
+    const auto cy = static_cast<std::uint32_t>(
+        (53.0 - map.origin.y) / map.resolution);
+    EXPECT_GT(map.at(cx, cy), 0.9f);
+}
+
+TEST(Costmap, OverheadStructuresIgnored)
+{
+    pc::PointCloud no_ground;
+    no_ground.push_back(pc::Point::fromVec({8, 3, 4.0})); // bridge
+    const Costmap map = generatePointsCostmap(
+        no_ground, geom::Pose2{}, CostmapConfig());
+    for (float c : map.cost)
+        EXPECT_FLOAT_EQ(c, 0.0f);
+}
+
+} // namespace

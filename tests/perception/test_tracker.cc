@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the IMM-UKF-PDA tracker: track lifecycle, velocity
+ * estimation, IMM mode adaptation, identity persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perception/imm_ukf_pda.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace av;
+using namespace av::perception;
+
+ObjectList
+measurementAt(const geom::Vec2 &pos, util::Rng *rng = nullptr)
+{
+    ObjectList list;
+    DetectedObject obj;
+    obj.position = pos;
+    if (rng) {
+        obj.position.x += rng->gaussian(0.0, 0.1);
+        obj.position.y += rng->gaussian(0.0, 0.1);
+    }
+    obj.label = Label::Car;
+    obj.length = 4.4;
+    obj.width = 1.8;
+    list.objects.push_back(obj);
+    return list;
+}
+
+TEST(Tracker, ConfirmsPersistentObject)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(1);
+    ObjectList out;
+    for (int f = 0; f < 10; ++f) {
+        out = tracker.update(
+            measurementAt({10.0 + 0.5 * f, 5.0}, &rng),
+            static_cast<sim::Tick>(f) * 100 * sim::oneMs);
+    }
+    EXPECT_EQ(tracker.confirmedCount(), 1u);
+    ASSERT_EQ(out.objects.size(), 1u);
+    EXPECT_EQ(out.objects[0].label, Label::Car);
+    EXPECT_NEAR(out.objects[0].position.x, 14.5, 1.0);
+}
+
+TEST(Tracker, EstimatesVelocity)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(2);
+    ObjectList out;
+    // Object moving +x at 8 m/s, measured at 10 Hz.
+    for (int f = 0; f < 30; ++f) {
+        out = tracker.update(
+            measurementAt({0.8 * f, 0.0}, &rng),
+            static_cast<sim::Tick>(f) * 100 * sim::oneMs);
+    }
+    ASSERT_EQ(out.objects.size(), 1u);
+    EXPECT_TRUE(out.objects[0].hasVelocity);
+    EXPECT_NEAR(out.objects[0].velocity.x, 8.0, 1.5);
+    EXPECT_NEAR(out.objects[0].velocity.y, 0.0, 1.0);
+}
+
+TEST(Tracker, KeepsIdentityAcrossFrames)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(3);
+    std::uint32_t id = 0;
+    for (int f = 0; f < 20; ++f) {
+        const ObjectList out = tracker.update(
+            measurementAt({5.0 + 0.3 * f, -2.0}, &rng),
+            static_cast<sim::Tick>(f) * 100 * sim::oneMs);
+        if (!out.objects.empty()) {
+            if (id == 0)
+                id = out.objects[0].id;
+            EXPECT_EQ(out.objects[0].id, id);
+        }
+    }
+    EXPECT_NE(id, 0u);
+}
+
+TEST(Tracker, DropsVanishedObject)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(4);
+    for (int f = 0; f < 10; ++f) {
+        tracker.update(measurementAt({10, 0}, &rng),
+                       static_cast<sim::Tick>(f) * 100 *
+                           sim::oneMs);
+    }
+    EXPECT_EQ(tracker.confirmedCount(), 1u);
+    // Object disappears: empty measurement lists.
+    for (int f = 10; f < 20; ++f) {
+        tracker.update(ObjectList{},
+                       static_cast<sim::Tick>(f) * 100 *
+                           sim::oneMs);
+    }
+    EXPECT_EQ(tracker.confirmedCount(), 0u);
+    EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, TracksMultipleObjects)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(5);
+    ObjectList out;
+    for (int f = 0; f < 15; ++f) {
+        ObjectList list;
+        // Three well-separated objects.
+        for (double y : {-20.0, 0.0, 20.0}) {
+            DetectedObject obj;
+            obj.position = {0.5 * f, y};
+            obj.position.x += rng.gaussian(0.0, 0.08);
+            list.objects.push_back(obj);
+        }
+        out = tracker.update(list, static_cast<sim::Tick>(f) * 100 *
+                                       sim::oneMs);
+    }
+    EXPECT_EQ(tracker.confirmedCount(), 3u);
+    EXPECT_EQ(out.objects.size(), 3u);
+    // Distinct ids.
+    EXPECT_NE(out.objects[0].id, out.objects[1].id);
+    EXPECT_NE(out.objects[1].id, out.objects[2].id);
+}
+
+TEST(Tracker, SurvivesMissedDetections)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(6);
+    for (int f = 0; f < 30; ++f) {
+        // Miss every 4th frame (detector recall < 1).
+        if (f % 4 == 3) {
+            tracker.update(ObjectList{},
+                           static_cast<sim::Tick>(f) * 100 *
+                               sim::oneMs);
+        } else {
+            tracker.update(measurementAt({1.0 * f, 3.0}, &rng),
+                           static_cast<sim::Tick>(f) * 100 *
+                               sim::oneMs);
+        }
+    }
+    EXPECT_EQ(tracker.confirmedCount(), 1u);
+}
+
+TEST(Tracker, ImmAdaptsToTurning)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(7);
+    // Circle: radius 20 m, angular speed 0.4 rad/s, 10 Hz.
+    ObjectList out;
+    for (int f = 0; f < 60; ++f) {
+        const double theta = 0.04 * f;
+        out = tracker.update(
+            measurementAt({20.0 * std::cos(theta),
+                           20.0 * std::sin(theta)},
+                          &rng),
+            static_cast<sim::Tick>(f) * 100 * sim::oneMs);
+    }
+    ASSERT_EQ(out.objects.size(), 1u);
+    // Yaw rate should be detected as nonzero (CTRV model engaged).
+    EXPECT_GT(std::fabs(out.objects[0].yawRate), 0.1);
+    // Speed ~ r * omega = 8 m/s.
+    EXPECT_NEAR(out.objects[0].velocity.norm(), 8.0, 2.5);
+}
+
+TEST(Tracker, ClutterDoesNotStealTrack)
+{
+    ImmUkfPdaTracker tracker;
+    util::Rng rng(8);
+    std::uint32_t id = 0;
+    for (int f = 0; f < 30; ++f) {
+        ObjectList list = measurementAt({10.0 + 0.2 * f, 0}, &rng);
+        // Random clutter far away.
+        DetectedObject clutter;
+        clutter.position = {rng.uniform(-50.0, 50.0),
+                            rng.uniform(20.0, 60.0)};
+        list.objects.push_back(clutter);
+        const ObjectList out = tracker.update(
+            list, static_cast<sim::Tick>(f) * 100 * sim::oneMs);
+        for (const auto &o : out.objects) {
+            if (std::fabs(o.position.y) < 5.0) {
+                if (id == 0)
+                    id = o.id;
+                EXPECT_EQ(o.id, id);
+            }
+        }
+    }
+    EXPECT_NE(id, 0u);
+}
+
+} // namespace

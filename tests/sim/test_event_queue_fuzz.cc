@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Randomized stress of the event queue: interleaved schedule /
+ * deschedule / nested scheduling with invariant checks, plus a
+ * voxel-grid property sweep (downsampling is monotone in leaf size
+ * and idempotent at the same leaf).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "pointcloud/voxel_grid.hh"
+#include "sim/event_queue.hh"
+#include "util/random.hh"
+
+namespace {
+
+using av::sim::EventId;
+using av::sim::EventQueue;
+using av::sim::Tick;
+
+class EventQueueFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EventQueueFuzz, OrderingAndCancellationInvariants)
+{
+    av::util::Rng rng(GetParam());
+    EventQueue eq;
+    std::vector<Tick> fired;
+    std::vector<EventId> live;
+    std::set<EventId> cancelled;
+
+    // Phase 1: random schedule/deschedule churn.
+    for (int op = 0; op < 3000; ++op) {
+        const double roll = rng.uniform();
+        if (roll < 0.70 || live.empty()) {
+            const Tick when = static_cast<Tick>(
+                rng.uniformInt(0, 1'000'000));
+            live.push_back(eq.schedule(
+                when, [&fired, &eq] { fired.push_back(eq.now()); }));
+        } else {
+            const auto idx = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<long>(live.size()) - 1));
+            cancelled.insert(live[idx]);
+            eq.deschedule(live[idx]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+    const std::size_t expected = live.size();
+    eq.runUntil();
+
+    // Every non-cancelled event fired exactly once, in time order.
+    EXPECT_EQ(fired.size(), expected);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST_P(EventQueueFuzz, NestedSchedulingFromCallbacks)
+{
+    av::util::Rng rng(GetParam() * 1000 + 1);
+    EventQueue eq;
+    int fired = 0;
+    int budget = 500;
+    std::function<void()> spawner = [&] {
+        ++fired;
+        if (budget-- > 0) {
+            eq.scheduleAfter(
+                static_cast<Tick>(rng.uniformInt(1, 100)), spawner);
+            if (rng.bernoulli(0.3))
+                eq.scheduleAfter(
+                    static_cast<Tick>(rng.uniformInt(1, 100)),
+                    spawner);
+        }
+    };
+    eq.schedule(0, spawner);
+    eq.runUntil();
+    EXPECT_GT(fired, 500);
+    EXPECT_TRUE(eq.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1, 7, 42, 1337));
+
+/** Voxel downsample property sweep across leaf sizes. */
+class VoxelLeafSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(VoxelLeafSweep, MonotoneAndIdempotent)
+{
+    av::util::Rng rng(3);
+    av::pc::PointCloud cloud;
+    for (int i = 0; i < 4000; ++i)
+        cloud.push_back(av::pc::Point::fromVec(
+            {rng.uniform(-30, 30), rng.uniform(-30, 30),
+             rng.uniform(-2, 2)}));
+
+    const double leaf = GetParam();
+    const auto once = av::pc::voxelGridDownsample(cloud, leaf);
+    EXPECT_LE(once.size(), cloud.size());
+    EXPECT_GT(once.size(), 0u);
+
+    // Coarser leaf -> no more points than a finer leaf.
+    const auto coarser =
+        av::pc::voxelGridDownsample(cloud, leaf * 2.0);
+    EXPECT_LE(coarser.size(), once.size());
+
+    // Downsampling the downsampled cloud at the same leaf changes
+    // little: each voxel already holds one centroid (the centroid
+    // can straddle a voxel edge, so allow a small tolerance).
+    const auto twice = av::pc::voxelGridDownsample(once, leaf);
+    EXPECT_GE(twice.size(),
+              once.size() - once.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Leaves, VoxelLeafSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for util/flags command-line parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/flags.hh"
+
+namespace {
+
+using av::util::Flags;
+
+Flags
+parse(std::vector<const char *> argv,
+      const std::vector<std::string> &known)
+{
+    argv.insert(argv.begin(), "prog");
+    return Flags(static_cast<int>(argv.size()),
+                 const_cast<char **>(argv.data()), known);
+}
+
+TEST(Flags, EqualsForm)
+{
+    const Flags f = parse({"--duration=120", "--detector=yolo"},
+                          {"duration", "detector"});
+    EXPECT_EQ(f.getInt("duration", 0), 120);
+    EXPECT_EQ(f.getString("detector"), "yolo");
+}
+
+TEST(Flags, SpaceForm)
+{
+    const Flags f = parse({"--duration", "90"}, {"duration"});
+    EXPECT_EQ(f.getInt("duration", 0), 90);
+}
+
+TEST(Flags, BareBooleans)
+{
+    const Flags f = parse({"--csv"}, {"csv", "verbose"});
+    EXPECT_TRUE(f.getBool("csv"));
+    EXPECT_FALSE(f.getBool("verbose"));
+    EXPECT_TRUE(f.getBool("verbose", true)); // default honoured
+}
+
+TEST(Flags, Defaults)
+{
+    const Flags f = parse({}, {"x"});
+    EXPECT_EQ(f.getInt("x", 7), 7);
+    EXPECT_DOUBLE_EQ(f.getDouble("x", 2.5), 2.5);
+    EXPECT_EQ(f.getString("x", "d"), "d");
+    EXPECT_FALSE(f.has("x"));
+}
+
+TEST(Flags, Positional)
+{
+    const Flags f = parse({"alpha", "--k=1", "beta"}, {"k"});
+    ASSERT_EQ(f.positional().size(), 2u);
+    EXPECT_EQ(f.positional()[0], "alpha");
+    EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(Flags, DoubleParsing)
+{
+    const Flags f = parse({"--scale=0.25"}, {"scale"});
+    EXPECT_DOUBLE_EQ(f.getDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagsDeath, UnknownFlagFatal)
+{
+    EXPECT_EXIT(parse({"--nope"}, {"yep"}),
+                ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+} // namespace

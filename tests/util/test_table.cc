@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for util/table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace {
+
+using av::util::Table;
+
+TEST(Table, PrintAlignsColumns)
+{
+    Table t("Demo", {"node", "latency"});
+    t.addRow({"ndt_matching", "25.1"});
+    t.addRow({"x", "3"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("ndt_matching"), std::string::npos);
+    EXPECT_NE(out.find("latency"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t("", {"a", "b"});
+    t.addRow({"hello, world", "quo\"te"});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+    EXPECT_NE(out.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst)
+{
+    Table t("Title ignored", {"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str().rfind("x,y\n", 0), 0u);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.1295), "12.95%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, SketchDistributionShapes)
+{
+    // Peak in the middle must render a denser glyph there.
+    std::vector<std::size_t> hist = {0, 1, 2, 10, 2, 1, 0, 0};
+    const std::string s = av::util::sketchDistribution(hist, 8);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(s[3], '#');
+    EXPECT_EQ(s[0], ' ');
+}
+
+TEST(Table, SketchEmpty)
+{
+    EXPECT_EQ(av::util::sketchDistribution({}, 10), "");
+}
+
+} // namespace

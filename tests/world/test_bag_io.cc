@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for binary bag persistence: round trip fidelity,
+ * format guards, replay equivalence of a loaded bag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "world/bag_io.hh"
+#include "world/recorder.hh"
+
+namespace {
+
+using namespace av;
+using namespace av::world;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string("/tmp/avscope_") + name + ".avbg";
+}
+
+ros::Bag
+recordShortDrive()
+{
+    ScenarioConfig cfg;
+    cfg.seed = 31;
+    const Scenario scenario(cfg);
+    const LidarModel lidar;
+    const CameraModel camera;
+    const GnssModel gnss;
+    const ImuModel imu;
+    ros::Bag bag;
+    recordDrive(scenario, lidar, camera, gnss, imu, 3 * sim::oneSec,
+                RecorderConfig(), bag);
+    return bag;
+}
+
+TEST(BagIo, RoundTripPreservesEverything)
+{
+    ros::Bag original = recordShortDrive();
+    const std::string path = tempPath("roundtrip");
+    ASSERT_TRUE(saveSensorBag(original, path));
+
+    ros::Bag loaded;
+    ASSERT_TRUE(loadSensorBag(loaded, path));
+    EXPECT_EQ(loaded.totalMessages(), original.totalMessages());
+    EXPECT_EQ(loaded.duration(), original.duration());
+
+    // Point clouds byte-identical.
+    const auto &a = original.channel<pc::PointCloud>(
+                                 topics::pointsRaw)
+                        .messages();
+    const auto &b =
+        loaded.channel<pc::PointCloud>(topics::pointsRaw)
+            .messages();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t m = 0; m < a.size(); ++m) {
+        EXPECT_EQ(a[m].header.stamp, b[m].header.stamp);
+        EXPECT_EQ(a[m].header.origins.lidar,
+                  b[m].header.origins.lidar);
+        EXPECT_EQ(a[m].bytes, b[m].bytes);
+        ASSERT_EQ(a[m].data.size(), b[m].data.size());
+        for (std::size_t i = 0; i < a[m].data.size(); i += 37) {
+            EXPECT_FLOAT_EQ(a[m].data[i].x, b[m].data[i].x);
+            EXPECT_FLOAT_EQ(a[m].data[i].z, b[m].data[i].z);
+            EXPECT_EQ(a[m].data[i].ring, b[m].data[i].ring);
+        }
+    }
+
+    // Camera truth preserved.
+    const auto &fa =
+        original.channel<CameraFrame>(topics::imageRaw).messages();
+    const auto &fb =
+        loaded.channel<CameraFrame>(topics::imageRaw).messages();
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t m = 0; m < fa.size(); ++m) {
+        ASSERT_EQ(fa[m].data.truth.size(), fb[m].data.truth.size());
+        for (std::size_t i = 0; i < fa[m].data.truth.size(); ++i) {
+            EXPECT_EQ(fa[m].data.truth[i].truthId,
+                      fb[m].data.truth[i].truthId);
+            EXPECT_EQ(fa[m].data.truth[i].cls,
+                      fb[m].data.truth[i].cls);
+            EXPECT_DOUBLE_EQ(fa[m].data.truth[i].bearing,
+                             fb[m].data.truth[i].bearing);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BagIo, LoadedBagReplaysIdentically)
+{
+    ros::Bag original = recordShortDrive();
+    const std::string path = tempPath("replay");
+    ASSERT_TRUE(saveSensorBag(original, path));
+    ros::Bag loaded;
+    ASSERT_TRUE(loadSensorBag(loaded, path));
+
+    const auto replay_stamps = [](const ros::Bag &bag) {
+        sim::EventQueue eq;
+        hw::MachineConfig mcfg;
+        hw::Machine machine(eq, mcfg);
+        ros::RosGraph graph(machine);
+        std::vector<sim::Tick> stamps;
+        graph.topic<pc::PointCloud>(topics::pointsRaw)
+            .addTap([&](const ros::Stamped<pc::PointCloud> &msg) {
+                stamps.push_back(msg.header.stamp);
+            });
+        bag.replay(graph);
+        eq.runUntil();
+        return stamps;
+    };
+    EXPECT_EQ(replay_stamps(original), replay_stamps(loaded));
+    std::remove(path.c_str());
+}
+
+TEST(BagIo, RejectsGarbageFile)
+{
+    const std::string path = tempPath("garbage");
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "this is not a bag file at all";
+    }
+    ros::Bag bag;
+    EXPECT_FALSE(loadSensorBag(bag, path));
+    EXPECT_EQ(bag.totalMessages(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(BagIo, RejectsTruncatedFile)
+{
+    const ros::Bag original = recordShortDrive();
+    const std::string path = tempPath("truncated");
+    ASSERT_TRUE(saveSensorBag(original, path));
+    // Chop the file in half.
+    std::ifstream is(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+    is.close();
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(contents.size() / 2));
+    }
+    ros::Bag bag;
+    EXPECT_FALSE(loadSensorBag(bag, path));
+    std::remove(path.c_str());
+}
+
+TEST(BagIo, MissingFileFails)
+{
+    ros::Bag bag;
+    EXPECT_FALSE(loadSensorBag(bag, "/tmp/avscope_nonexistent.avbg"));
+    EXPECT_FALSE(
+        saveSensorBag(bag, "/nonexistent_dir/bag.avbg"));
+}
+
+TEST(BagIo, EmptyBagSavesAndLoads)
+{
+    ros::Bag empty;
+    const std::string path = tempPath("empty");
+    ASSERT_TRUE(saveSensorBag(empty, path));
+    ros::Bag loaded;
+    EXPECT_TRUE(loadSensorBag(loaded, path));
+    EXPECT_EQ(loaded.totalMessages(), 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property tests over scenario generation: density knobs change the
+ * world monotonically, lane offsets separate traffic, seeds vary
+ * layouts, and quiet mapping variants keep static content
+ * byte-identical (the invariant the quiet ndt_mapping pass relies
+ * on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "world/scenario.hh"
+#include "world/sensors.hh"
+
+namespace {
+
+using namespace av;
+using namespace av::world;
+
+TEST(ScenarioProps, QuietVariantKeepsStaticContent)
+{
+    ScenarioConfig full;
+    full.seed = 123;
+    ScenarioConfig quiet = full;
+    quiet.nVehicles = 0;
+    quiet.nPedestrians = 0;
+
+    const Scenario a(full), b(quiet);
+    // Buildings identical.
+    ASSERT_EQ(a.obstacles().size(), b.obstacles().size());
+    for (std::size_t i = 0; i < a.obstacles().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.obstacles()[i].box.pose.p.x,
+                         b.obstacles()[i].box.pose.p.x);
+        EXPECT_DOUBLE_EQ(a.obstacles()[i].box.length,
+                         b.obstacles()[i].box.length);
+    }
+    // Parked cars identical (matched by id).
+    const auto full_actors = a.actorsAt(5 * sim::oneSec);
+    const auto quiet_actors = b.actorsAt(5 * sim::oneSec);
+    std::size_t parked_matched = 0;
+    for (const auto &qa : quiet_actors) {
+        if (qa.id < 1000 || qa.id >= 2000)
+            continue; // parked id range
+        for (const auto &fa : full_actors) {
+            if (fa.id != qa.id)
+                continue;
+            EXPECT_DOUBLE_EQ(fa.box.pose.p.x, qa.box.pose.p.x);
+            EXPECT_DOUBLE_EQ(fa.box.pose.p.y, qa.box.pose.p.y);
+            ++parked_matched;
+        }
+    }
+    EXPECT_EQ(parked_matched, full.nParked);
+}
+
+TEST(ScenarioProps, DensityKnobsMonotone)
+{
+    ScenarioConfig sparse;
+    sparse.seed = 9;
+    sparse.nVehicles = 4;
+    sparse.nPedestrians = 4;
+    sparse.nParked = 4;
+    ScenarioConfig dense = sparse;
+    dense.nVehicles = 30;
+    dense.nPedestrians = 30;
+    dense.nParked = 20;
+
+    const Scenario a(sparse), b(dense);
+    EXPECT_LT(a.actorsAt(0).size(), b.actorsAt(0).size());
+    EXPECT_EQ(b.actorsAt(0).size(), 80u);
+}
+
+TEST(ScenarioProps, LaneOffsetSeparatesMovingTraffic)
+{
+    ScenarioConfig cfg;
+    cfg.seed = 4;
+    cfg.vehicleLaneOffset = 3.4;
+    const Scenario scenario(cfg);
+    // Every moving vehicle stays >= ~3 m from the ego driving line.
+    for (int s = 0; s < 20; ++s) {
+        const auto t = static_cast<sim::Tick>(s) * sim::oneSec;
+        for (const auto &actor : scenario.actorsAt(t)) {
+            if (actor.id >= 1000)
+                continue; // only moving vehicles
+            double min_d = 1e9;
+            for (double rs = 0.0; rs < scenario.routeLength();
+                 rs += 2.0) {
+                min_d = std::min(
+                    min_d, (scenario.poseOnRoute(rs).p -
+                            actor.box.pose.p)
+                               .norm());
+            }
+            EXPECT_GT(min_d, 2.2) << "actor " << actor.id;
+        }
+    }
+}
+
+TEST(ScenarioProps, SeedsChangeLayout)
+{
+    ScenarioConfig a_cfg, b_cfg;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    const Scenario a(a_cfg), b(b_cfg);
+    int differing = 0;
+    const auto sa = a.actorsAt(0);
+    const auto sb = b.actorsAt(0);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i)
+        differing +=
+            (sa[i].box.pose.p - sb[i].box.pose.p).norm() > 0.5;
+    EXPECT_GT(differing, static_cast<int>(sa.size()) / 2);
+}
+
+TEST(ScenarioProps, HeadingContinuousAroundLoop)
+{
+    const Scenario scenario;
+    // Yaw changes between 0.5 m arclength steps stay small — the
+    // property the NDT motion extrapolation depends on.
+    double prev = scenario.poseOnRoute(0.0).yaw;
+    for (double s = 0.5; s < scenario.routeLength(); s += 0.5) {
+        const double yaw = scenario.poseOnRoute(s).yaw;
+        EXPECT_LT(std::fabs(geom::normalizeAngle(yaw - prev)), 0.12)
+            << "at s=" << s;
+        prev = yaw;
+    }
+}
+
+/** Denser scenes produce more camera-visible objects (on average). */
+TEST(ScenarioProps, CameraSeesMoreInDenserScenes)
+{
+    ScenarioConfig sparse;
+    sparse.seed = 11;
+    sparse.nVehicles = 2;
+    sparse.nPedestrians = 2;
+    sparse.nParked = 2;
+    ScenarioConfig dense = sparse;
+    dense.nVehicles = 30;
+    dense.nPedestrians = 30;
+    dense.nParked = 20;
+
+    const Scenario a(sparse), b(dense);
+    const CameraModel camera;
+    std::size_t a_total = 0, b_total = 0;
+    for (int s = 0; s < 30; ++s) {
+        const auto t = static_cast<sim::Tick>(s) * sim::oneSec;
+        a_total += camera.capture(a, t).truth.size();
+        b_total += camera.capture(b, t).truth.size();
+    }
+    EXPECT_GT(b_total, a_total * 2);
+}
+
+} // namespace
