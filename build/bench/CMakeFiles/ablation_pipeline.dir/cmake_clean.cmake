@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline.dir/ablation_pipeline.cc.o"
+  "CMakeFiles/ablation_pipeline.dir/ablation_pipeline.cc.o.d"
+  "ablation_pipeline"
+  "ablation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_bench_common.dir/common.cc.o"
+  "CMakeFiles/av_bench_common.dir/common.cc.o.d"
+  "libav_bench_common.a"
+  "libav_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

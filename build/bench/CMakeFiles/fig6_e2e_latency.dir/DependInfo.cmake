@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_e2e_latency.cc" "bench/CMakeFiles/fig6_e2e_latency.dir/fig6_e2e_latency.cc.o" "gcc" "bench/CMakeFiles/fig6_e2e_latency.dir/fig6_e2e_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/av_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/av_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/av_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/av_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/av_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/ros/CMakeFiles/av_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/av_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/av_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/av_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/av_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/av_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/av_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/av_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_e2e_latency.dir/fig6_e2e_latency.cc.o"
+  "CMakeFiles/fig6_e2e_latency.dir/fig6_e2e_latency.cc.o.d"
+  "fig6_e2e_latency"
+  "fig6_e2e_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_e2e_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

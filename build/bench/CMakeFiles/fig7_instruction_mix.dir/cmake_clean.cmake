@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_instruction_mix.dir/fig7_instruction_mix.cc.o"
+  "CMakeFiles/fig7_instruction_mix.dir/fig7_instruction_mix.cc.o.d"
+  "fig7_instruction_mix"
+  "fig7_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_isolation.dir/fig8_isolation.cc.o"
+  "CMakeFiles/fig8_isolation.dir/fig8_isolation.cc.o.d"
+  "fig8_isolation"
+  "fig8_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/findings_summary.dir/findings_summary.cc.o"
+  "CMakeFiles/findings_summary.dir/findings_summary.cc.o.d"
+  "findings_summary"
+  "findings_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/findings_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

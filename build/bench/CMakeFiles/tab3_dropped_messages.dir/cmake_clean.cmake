@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_dropped_messages.dir/tab3_dropped_messages.cc.o"
+  "CMakeFiles/tab3_dropped_messages.dir/tab3_dropped_messages.cc.o.d"
+  "tab3_dropped_messages"
+  "tab3_dropped_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_dropped_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_utilization.dir/tab5_utilization.cc.o"
+  "CMakeFiles/tab5_utilization.dir/tab5_utilization.cc.o.d"
+  "tab5_utilization"
+  "tab5_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

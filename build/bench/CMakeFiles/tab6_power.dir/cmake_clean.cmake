@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_power.dir/tab6_power.cc.o"
+  "CMakeFiles/tab6_power.dir/tab6_power.cc.o.d"
+  "tab6_power"
+  "tab6_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

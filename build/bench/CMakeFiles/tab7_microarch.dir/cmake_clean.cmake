@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_microarch.dir/tab7_microarch.cc.o"
+  "CMakeFiles/tab7_microarch.dir/tab7_microarch.cc.o.d"
+  "tab7_microarch"
+  "tab7_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab7_microarch.
+# This may be replaced when dependencies are built.

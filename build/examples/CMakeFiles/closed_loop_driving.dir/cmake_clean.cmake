@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop_driving.dir/closed_loop_driving.cpp.o"
+  "CMakeFiles/closed_loop_driving.dir/closed_loop_driving.cpp.o.d"
+  "closed_loop_driving"
+  "closed_loop_driving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_tradeoff_study.dir/detector_tradeoff_study.cpp.o"
+  "CMakeFiles/detector_tradeoff_study.dir/detector_tradeoff_study.cpp.o.d"
+  "detector_tradeoff_study"
+  "detector_tradeoff_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_tradeoff_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

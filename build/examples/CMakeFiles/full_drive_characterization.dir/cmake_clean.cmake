@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_drive_characterization.dir/full_drive_characterization.cpp.o"
+  "CMakeFiles/full_drive_characterization.dir/full_drive_characterization.cpp.o.d"
+  "full_drive_characterization"
+  "full_drive_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_drive_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("geom")
+subdirs("pointcloud")
+subdirs("uarch")
+subdirs("hw")
+subdirs("ros")
+subdirs("dnn")
+subdirs("world")
+subdirs("perception")
+subdirs("planning")
+subdirs("stack")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_core.dir/characterization.cc.o"
+  "CMakeFiles/av_core.dir/characterization.cc.o.d"
+  "CMakeFiles/av_core.dir/probes.cc.o"
+  "CMakeFiles/av_core.dir/probes.cc.o.d"
+  "CMakeFiles/av_core.dir/report.cc.o"
+  "CMakeFiles/av_core.dir/report.cc.o.d"
+  "libav_core.a"
+  "libav_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/cost.cc" "src/dnn/CMakeFiles/av_dnn.dir/cost.cc.o" "gcc" "src/dnn/CMakeFiles/av_dnn.dir/cost.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/av_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/av_dnn.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/av_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/av_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/av_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/av_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_dnn.dir/cost.cc.o"
+  "CMakeFiles/av_dnn.dir/cost.cc.o.d"
+  "CMakeFiles/av_dnn.dir/network.cc.o"
+  "CMakeFiles/av_dnn.dir/network.cc.o.d"
+  "libav_dnn.a"
+  "libav_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

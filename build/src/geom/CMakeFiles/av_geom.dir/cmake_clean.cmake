@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_geom.dir/mat.cc.o"
+  "CMakeFiles/av_geom.dir/mat.cc.o.d"
+  "CMakeFiles/av_geom.dir/pose.cc.o"
+  "CMakeFiles/av_geom.dir/pose.cc.o.d"
+  "libav_geom.a"
+  "libav_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

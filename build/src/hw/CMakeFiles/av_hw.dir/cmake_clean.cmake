@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_hw.dir/cpu.cc.o"
+  "CMakeFiles/av_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/av_hw.dir/gpu.cc.o"
+  "CMakeFiles/av_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/av_hw.dir/machine.cc.o"
+  "CMakeFiles/av_hw.dir/machine.cc.o.d"
+  "CMakeFiles/av_hw.dir/power.cc.o"
+  "CMakeFiles/av_hw.dir/power.cc.o.d"
+  "libav_hw.a"
+  "libav_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

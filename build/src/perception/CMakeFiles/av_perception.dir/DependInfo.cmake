@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/costmap.cc" "src/perception/CMakeFiles/av_perception.dir/costmap.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/costmap.cc.o.d"
+  "/root/repo/src/perception/euclidean_cluster.cc" "src/perception/CMakeFiles/av_perception.dir/euclidean_cluster.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/euclidean_cluster.cc.o.d"
+  "/root/repo/src/perception/fusion.cc" "src/perception/CMakeFiles/av_perception.dir/fusion.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/fusion.cc.o.d"
+  "/root/repo/src/perception/imm_ukf_pda.cc" "src/perception/CMakeFiles/av_perception.dir/imm_ukf_pda.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/imm_ukf_pda.cc.o.d"
+  "/root/repo/src/perception/motion_predict.cc" "src/perception/CMakeFiles/av_perception.dir/motion_predict.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/motion_predict.cc.o.d"
+  "/root/repo/src/perception/ndt.cc" "src/perception/CMakeFiles/av_perception.dir/ndt.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/ndt.cc.o.d"
+  "/root/repo/src/perception/node_base.cc" "src/perception/CMakeFiles/av_perception.dir/node_base.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/node_base.cc.o.d"
+  "/root/repo/src/perception/nodes.cc" "src/perception/CMakeFiles/av_perception.dir/nodes.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/nodes.cc.o.d"
+  "/root/repo/src/perception/objects.cc" "src/perception/CMakeFiles/av_perception.dir/objects.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/objects.cc.o.d"
+  "/root/repo/src/perception/ray_ground_filter.cc" "src/perception/CMakeFiles/av_perception.dir/ray_ground_filter.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/ray_ground_filter.cc.o.d"
+  "/root/repo/src/perception/vision_model.cc" "src/perception/CMakeFiles/av_perception.dir/vision_model.cc.o" "gcc" "src/perception/CMakeFiles/av_perception.dir/vision_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pointcloud/CMakeFiles/av_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/ros/CMakeFiles/av_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/av_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/av_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/av_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/av_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/av_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/av_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/av_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

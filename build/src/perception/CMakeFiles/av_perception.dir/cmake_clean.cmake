@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_perception.dir/costmap.cc.o"
+  "CMakeFiles/av_perception.dir/costmap.cc.o.d"
+  "CMakeFiles/av_perception.dir/euclidean_cluster.cc.o"
+  "CMakeFiles/av_perception.dir/euclidean_cluster.cc.o.d"
+  "CMakeFiles/av_perception.dir/fusion.cc.o"
+  "CMakeFiles/av_perception.dir/fusion.cc.o.d"
+  "CMakeFiles/av_perception.dir/imm_ukf_pda.cc.o"
+  "CMakeFiles/av_perception.dir/imm_ukf_pda.cc.o.d"
+  "CMakeFiles/av_perception.dir/motion_predict.cc.o"
+  "CMakeFiles/av_perception.dir/motion_predict.cc.o.d"
+  "CMakeFiles/av_perception.dir/ndt.cc.o"
+  "CMakeFiles/av_perception.dir/ndt.cc.o.d"
+  "CMakeFiles/av_perception.dir/node_base.cc.o"
+  "CMakeFiles/av_perception.dir/node_base.cc.o.d"
+  "CMakeFiles/av_perception.dir/nodes.cc.o"
+  "CMakeFiles/av_perception.dir/nodes.cc.o.d"
+  "CMakeFiles/av_perception.dir/objects.cc.o"
+  "CMakeFiles/av_perception.dir/objects.cc.o.d"
+  "CMakeFiles/av_perception.dir/ray_ground_filter.cc.o"
+  "CMakeFiles/av_perception.dir/ray_ground_filter.cc.o.d"
+  "CMakeFiles/av_perception.dir/vision_model.cc.o"
+  "CMakeFiles/av_perception.dir/vision_model.cc.o.d"
+  "libav_perception.a"
+  "libav_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_planning.dir/local_planner.cc.o"
+  "CMakeFiles/av_planning.dir/local_planner.cc.o.d"
+  "CMakeFiles/av_planning.dir/pure_pursuit.cc.o"
+  "CMakeFiles/av_planning.dir/pure_pursuit.cc.o.d"
+  "CMakeFiles/av_planning.dir/route.cc.o"
+  "CMakeFiles/av_planning.dir/route.cc.o.d"
+  "CMakeFiles/av_planning.dir/vehicle.cc.o"
+  "CMakeFiles/av_planning.dir/vehicle.cc.o.d"
+  "libav_planning.a"
+  "libav_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

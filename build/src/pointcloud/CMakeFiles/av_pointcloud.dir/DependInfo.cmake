@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/cloud.cc" "src/pointcloud/CMakeFiles/av_pointcloud.dir/cloud.cc.o" "gcc" "src/pointcloud/CMakeFiles/av_pointcloud.dir/cloud.cc.o.d"
+  "/root/repo/src/pointcloud/kdtree.cc" "src/pointcloud/CMakeFiles/av_pointcloud.dir/kdtree.cc.o" "gcc" "src/pointcloud/CMakeFiles/av_pointcloud.dir/kdtree.cc.o.d"
+  "/root/repo/src/pointcloud/voxel_grid.cc" "src/pointcloud/CMakeFiles/av_pointcloud.dir/voxel_grid.cc.o" "gcc" "src/pointcloud/CMakeFiles/av_pointcloud.dir/voxel_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/av_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/av_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/av_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_pointcloud.dir/cloud.cc.o"
+  "CMakeFiles/av_pointcloud.dir/cloud.cc.o.d"
+  "CMakeFiles/av_pointcloud.dir/kdtree.cc.o"
+  "CMakeFiles/av_pointcloud.dir/kdtree.cc.o.d"
+  "CMakeFiles/av_pointcloud.dir/voxel_grid.cc.o"
+  "CMakeFiles/av_pointcloud.dir/voxel_grid.cc.o.d"
+  "libav_pointcloud.a"
+  "libav_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_ros.dir/ros.cc.o"
+  "CMakeFiles/av_ros.dir/ros.cc.o.d"
+  "libav_ros.a"
+  "libav_ros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_ros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for av_ros.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_sim.dir/event_queue.cc.o"
+  "CMakeFiles/av_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/av_sim.dir/periodic.cc.o"
+  "CMakeFiles/av_sim.dir/periodic.cc.o.d"
+  "libav_sim.a"
+  "libav_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_stack.dir/autoware_stack.cc.o"
+  "CMakeFiles/av_stack.dir/autoware_stack.cc.o.d"
+  "CMakeFiles/av_stack.dir/config.cc.o"
+  "CMakeFiles/av_stack.dir/config.cc.o.d"
+  "libav_stack.a"
+  "libav_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch.cc" "src/uarch/CMakeFiles/av_uarch.dir/branch.cc.o" "gcc" "src/uarch/CMakeFiles/av_uarch.dir/branch.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/av_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/av_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/opcounts.cc" "src/uarch/CMakeFiles/av_uarch.dir/opcounts.cc.o" "gcc" "src/uarch/CMakeFiles/av_uarch.dir/opcounts.cc.o.d"
+  "/root/repo/src/uarch/pipeline.cc" "src/uarch/CMakeFiles/av_uarch.dir/pipeline.cc.o" "gcc" "src/uarch/CMakeFiles/av_uarch.dir/pipeline.cc.o.d"
+  "/root/repo/src/uarch/profiler.cc" "src/uarch/CMakeFiles/av_uarch.dir/profiler.cc.o" "gcc" "src/uarch/CMakeFiles/av_uarch.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/av_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_uarch.dir/branch.cc.o"
+  "CMakeFiles/av_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/av_uarch.dir/cache.cc.o"
+  "CMakeFiles/av_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/av_uarch.dir/opcounts.cc.o"
+  "CMakeFiles/av_uarch.dir/opcounts.cc.o.d"
+  "CMakeFiles/av_uarch.dir/pipeline.cc.o"
+  "CMakeFiles/av_uarch.dir/pipeline.cc.o.d"
+  "CMakeFiles/av_uarch.dir/profiler.cc.o"
+  "CMakeFiles/av_uarch.dir/profiler.cc.o.d"
+  "libav_uarch.a"
+  "libav_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_util.dir/flags.cc.o"
+  "CMakeFiles/av_util.dir/flags.cc.o.d"
+  "CMakeFiles/av_util.dir/logging.cc.o"
+  "CMakeFiles/av_util.dir/logging.cc.o.d"
+  "CMakeFiles/av_util.dir/random.cc.o"
+  "CMakeFiles/av_util.dir/random.cc.o.d"
+  "CMakeFiles/av_util.dir/stats.cc.o"
+  "CMakeFiles/av_util.dir/stats.cc.o.d"
+  "CMakeFiles/av_util.dir/table.cc.o"
+  "CMakeFiles/av_util.dir/table.cc.o.d"
+  "libav_util.a"
+  "libav_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

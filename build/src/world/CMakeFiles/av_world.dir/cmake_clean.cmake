@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_world.dir/bag_io.cc.o"
+  "CMakeFiles/av_world.dir/bag_io.cc.o.d"
+  "CMakeFiles/av_world.dir/map_builder.cc.o"
+  "CMakeFiles/av_world.dir/map_builder.cc.o.d"
+  "CMakeFiles/av_world.dir/recorder.cc.o"
+  "CMakeFiles/av_world.dir/recorder.cc.o.d"
+  "CMakeFiles/av_world.dir/scenario.cc.o"
+  "CMakeFiles/av_world.dir/scenario.cc.o.d"
+  "CMakeFiles/av_world.dir/sensors.cc.o"
+  "CMakeFiles/av_world.dir/sensors.cc.o.d"
+  "libav_world.a"
+  "libav_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

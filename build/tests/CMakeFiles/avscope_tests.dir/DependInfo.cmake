@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_probes.cc" "tests/CMakeFiles/avscope_tests.dir/core/test_probes.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/core/test_probes.cc.o.d"
+  "/root/repo/tests/core/test_report.cc" "tests/CMakeFiles/avscope_tests.dir/core/test_report.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/core/test_report.cc.o.d"
+  "/root/repo/tests/dnn/test_dnn.cc" "tests/CMakeFiles/avscope_tests.dir/dnn/test_dnn.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/dnn/test_dnn.cc.o.d"
+  "/root/repo/tests/geom/test_geom.cc" "tests/CMakeFiles/avscope_tests.dir/geom/test_geom.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/geom/test_geom.cc.o.d"
+  "/root/repo/tests/hw/test_cpu.cc" "tests/CMakeFiles/avscope_tests.dir/hw/test_cpu.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/hw/test_cpu.cc.o.d"
+  "/root/repo/tests/hw/test_gpu.cc" "tests/CMakeFiles/avscope_tests.dir/hw/test_gpu.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/hw/test_gpu.cc.o.d"
+  "/root/repo/tests/hw/test_interference.cc" "tests/CMakeFiles/avscope_tests.dir/hw/test_interference.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/hw/test_interference.cc.o.d"
+  "/root/repo/tests/perception/test_algorithms.cc" "tests/CMakeFiles/avscope_tests.dir/perception/test_algorithms.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/perception/test_algorithms.cc.o.d"
+  "/root/repo/tests/perception/test_ndt.cc" "tests/CMakeFiles/avscope_tests.dir/perception/test_ndt.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/perception/test_ndt.cc.o.d"
+  "/root/repo/tests/perception/test_tracker.cc" "tests/CMakeFiles/avscope_tests.dir/perception/test_tracker.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/perception/test_tracker.cc.o.d"
+  "/root/repo/tests/planning/test_planning.cc" "tests/CMakeFiles/avscope_tests.dir/planning/test_planning.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/planning/test_planning.cc.o.d"
+  "/root/repo/tests/planning/test_planning_properties.cc" "tests/CMakeFiles/avscope_tests.dir/planning/test_planning_properties.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/planning/test_planning_properties.cc.o.d"
+  "/root/repo/tests/pointcloud/test_pointcloud.cc" "tests/CMakeFiles/avscope_tests.dir/pointcloud/test_pointcloud.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/pointcloud/test_pointcloud.cc.o.d"
+  "/root/repo/tests/ros/test_graph.cc" "tests/CMakeFiles/avscope_tests.dir/ros/test_graph.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/ros/test_graph.cc.o.d"
+  "/root/repo/tests/ros/test_ros.cc" "tests/CMakeFiles/avscope_tests.dir/ros/test_ros.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/ros/test_ros.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/avscope_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue_fuzz.cc" "tests/CMakeFiles/avscope_tests.dir/sim/test_event_queue_fuzz.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/sim/test_event_queue_fuzz.cc.o.d"
+  "/root/repo/tests/sim/test_periodic.cc" "tests/CMakeFiles/avscope_tests.dir/sim/test_periodic.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/sim/test_periodic.cc.o.d"
+  "/root/repo/tests/stack/test_integration.cc" "tests/CMakeFiles/avscope_tests.dir/stack/test_integration.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/stack/test_integration.cc.o.d"
+  "/root/repo/tests/stack/test_stack_config.cc" "tests/CMakeFiles/avscope_tests.dir/stack/test_stack_config.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/stack/test_stack_config.cc.o.d"
+  "/root/repo/tests/uarch/test_uarch.cc" "tests/CMakeFiles/avscope_tests.dir/uarch/test_uarch.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/uarch/test_uarch.cc.o.d"
+  "/root/repo/tests/util/test_flags.cc" "tests/CMakeFiles/avscope_tests.dir/util/test_flags.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/util/test_flags.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/avscope_tests.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_random.cc" "tests/CMakeFiles/avscope_tests.dir/util/test_random.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/util/test_random.cc.o.d"
+  "/root/repo/tests/util/test_stats.cc" "tests/CMakeFiles/avscope_tests.dir/util/test_stats.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/util/test_stats.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/avscope_tests.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/world/test_bag_io.cc" "tests/CMakeFiles/avscope_tests.dir/world/test_bag_io.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/world/test_bag_io.cc.o.d"
+  "/root/repo/tests/world/test_scenario_properties.cc" "tests/CMakeFiles/avscope_tests.dir/world/test_scenario_properties.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/world/test_scenario_properties.cc.o.d"
+  "/root/repo/tests/world/test_world.cc" "tests/CMakeFiles/avscope_tests.dir/world/test_world.cc.o" "gcc" "tests/CMakeFiles/avscope_tests.dir/world/test_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/av_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/av_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/av_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/av_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/av_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/av_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ros/CMakeFiles/av_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/av_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/av_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/av_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/av_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/av_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/av_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
