@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The consolidated five-findings report, callable in-process.
+ *
+ * findings_summary's main() is a thin wrapper around
+ * runFindingsSummary; tests call it twice against string streams to
+ * assert the determinism contract at runtime (byte-identical reports
+ * for the same scenario config).
+ */
+
+#ifndef AVSCOPE_BENCH_FINDINGS_HH
+#define AVSCOPE_BENCH_FINDINGS_HH
+
+#include <ostream>
+
+#include "common.hh"
+
+namespace av::bench {
+
+/**
+ * Render the paper's five-findings check into @p os.
+ * @return the number of findings that failed to reproduce (0 = all
+ *         five reproduced).
+ */
+int runFindingsSummary(const BenchEnv &env, std::ostream &os);
+
+} // namespace av::bench
+
+#endif // AVSCOPE_BENCH_FINDINGS_HH

@@ -148,7 +148,8 @@ BM_TrackerUpdate(benchmark::State &state)
         perception::ObjectList list;
         for (long i = 0; i < n_objects; ++i) {
             perception::DetectedObject obj;
-            obj.position = {i * 15.0 + rng.gaussian(0, 0.1),
+            obj.position = {static_cast<double>(i) * 15.0 +
+                                rng.gaussian(0, 0.1),
                             rng.gaussian(0, 0.1)};
             list.objects.push_back(obj);
         }

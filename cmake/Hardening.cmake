@@ -1,0 +1,41 @@
+# Hardened build modes shared by every avscope target.
+#
+#   AVSCOPE_WERROR=ON          -Wall -Wextra -Wshadow -Wconversion
+#                              promoted to errors
+#   AVSCOPE_SANITIZE=<list>    semicolon list of sanitizers, e.g.
+#                              address;undefined  or  thread
+#
+# Warnings are applied per-target (avscope_harden) so imported
+# third-party targets stay untouched; sanitizer instrumentation is
+# global because every object linked into an image must agree on it.
+
+function(avscope_harden target)
+    target_compile_options(${target} PRIVATE
+        -Wall -Wextra -Wshadow -Wconversion)
+    if(AVSCOPE_WERROR)
+        # -Wrestrict false-positives on GCC 12/13 std::string
+        # concatenation (PR105329); keep it visible, not fatal.
+        target_compile_options(${target} PRIVATE
+            -Werror -Wno-error=restrict)
+    endif()
+endfunction()
+
+if(AVSCOPE_SANITIZE)
+    foreach(_av_san IN LISTS AVSCOPE_SANITIZE)
+        if(NOT _av_san MATCHES "^(address|undefined|leak|thread)$")
+            message(FATAL_ERROR
+                "AVSCOPE_SANITIZE: unknown sanitizer '${_av_san}'")
+        endif()
+    endforeach()
+    if("thread" IN_LIST AVSCOPE_SANITIZE AND
+       ("address" IN_LIST AVSCOPE_SANITIZE OR
+        "leak" IN_LIST AVSCOPE_SANITIZE))
+        message(FATAL_ERROR
+            "AVSCOPE_SANITIZE: thread cannot combine with"
+            " address/leak")
+    endif()
+    string(REPLACE ";" "," _av_san_flags "${AVSCOPE_SANITIZE}")
+    add_compile_options(
+        -fsanitize=${_av_san_flags} -fno-omit-frame-pointer -g)
+    add_link_options(-fsanitize=${_av_san_flags})
+endif()

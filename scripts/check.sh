@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full correctness gate for AVScope.
+#
+#   1. tier-1 verify: default configure + build + ctest
+#   2. avlint over the whole tree
+#   3. rebuild + ctest under AddressSanitizer + UBSan
+#
+# Usage: scripts/check.sh [build-dir] [asan-build-dir]
+# Exit code is non-zero if any stage fails.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+ASAN_BUILD="${2:-$ROOT/build-asan}"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "tier-1: configure + build ($BUILD)"
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$JOBS"
+
+step "tier-1: ctest"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+step "avlint"
+"$BUILD/tools/avlint/avlint" --root "$ROOT"
+
+step "sanitizers: configure + build ($ASAN_BUILD)"
+cmake -B "$ASAN_BUILD" -S "$ROOT" \
+    -DAVSCOPE_SANITIZE="address;undefined"
+cmake --build "$ASAN_BUILD" -j "$JOBS"
+
+step "sanitizers: ctest (ASan + UBSan, halt on any report)"
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
+
+step "all checks passed"

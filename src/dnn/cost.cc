@@ -26,6 +26,12 @@ sortComparisons(double n)
 /** Number of score elements the sampled trace sort uses. */
 constexpr std::size_t sampleSortSize = 1024;
 
+/** Logical probe regions of the host-side DNN cost model. */
+constexpr uarch::KernelProfiler::Region regionScores = 1;
+constexpr uarch::KernelProfiler::Region regionDecode = 2;
+constexpr uarch::KernelProfiler::Region regionResizeSrc = 3;
+constexpr uarch::KernelProfiler::Region regionResizeDst = 4;
+
 /**
  * Instrumented in-place quicksort over (score, index) pairs so the
  * branch model sees real partition outcomes and the cache model the
@@ -48,7 +54,8 @@ tracedQuicksort(std::vector<float> &scores, std::size_t lo,
     std::size_t i = lo, j = hi;
     while (i <= j) {
         while (true) {
-            prof.load(&scores[i]);
+            prof.load(regionScores, i * sizeof(float),
+                      sizeof(float));
             const bool advance = scores[i] > pivot;
             prof.branch(siteSortCompare, advance);
             ++comparisons;
@@ -57,7 +64,8 @@ tracedQuicksort(std::vector<float> &scores, std::size_t lo,
             ++i;
         }
         while (true) {
-            prof.load(&scores[j]);
+            prof.load(regionScores, j * sizeof(float),
+                      sizeof(float));
             const bool advance = scores[j] < pivot;
             prof.branch(siteSortCompare, advance);
             ++comparisons;
@@ -69,8 +77,10 @@ tracedQuicksort(std::vector<float> &scores, std::size_t lo,
         }
         if (i <= j) {
             std::swap(scores[i], scores[j]);
-            prof.store(&scores[i]);
-            prof.store(&scores[j]);
+            prof.store(regionScores, i * sizeof(float),
+                       sizeof(float));
+            prof.store(regionScores, j * sizeof(float),
+                       sizeof(float));
             ++i;
             if (j == 0)
                 break;
@@ -187,14 +197,12 @@ postprocessFrame(const NetworkSpec &net, util::Rng &rng,
             (2.0 * comparisons + 1.0 * decode_elems)));
 
         // Streaming decode reads over the candidate tensor.
-        static thread_local std::vector<float> scratch;
         const std::size_t window =
             std::min<std::size_t>(static_cast<std::size_t>(cands),
                                   16384);
-        if (scratch.size() < window)
-            scratch.assign(window, 0.0f);
         for (std::size_t i = 0; i < window; ++i)
-            prof.load(&scratch[i]);
+            prof.load(regionDecode, i * sizeof(float),
+                      sizeof(float));
     }
     return ops;
 }
@@ -226,16 +234,14 @@ preprocessFrame(const NetworkSpec &net, std::uint32_t cam_w,
         // traced accesses represent, keeping rates representative.
         // Bilinear resize reads a sliding 2-row window of the
         // source (L1-resident), writes the destination streaming.
-        static thread_local std::vector<float> src, dst;
         const std::size_t src_window = 2048; // 8 KiB, resident
         const std::size_t window = 16384;
-        if (src.size() < src_window)
-            src.assign(src_window, 0.0f);
-        if (dst.size() < window)
-            dst.assign(window, 0.0f);
         for (std::size_t i = 0; i < window; ++i) {
-            prof.load(&src[(i * 7) % src_window]);
-            prof.store(&dst[i]);
+            prof.load(regionResizeSrc,
+                      ((i * 7) % src_window) * sizeof(float),
+                      sizeof(float));
+            prof.store(regionResizeDst, i * sizeof(float),
+                       sizeof(float));
             if ((i & 7u) == 0)
                 prof.hotLoads(16); // coefficient math
         }

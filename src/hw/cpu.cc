@@ -76,7 +76,8 @@ CpuModel::integrateProgress()
             const double done =
                 std::min(ts->remainingCycles, dt * ts->rate);
             ts->remainingCycles -= done;
-            const double seconds = dt * 1e-9;
+            const double seconds =
+                sim::ticksToSeconds(now - ts->lastUpdate);
             acct_.busyCoreSeconds += seconds;
             acct_.busySecondsByOwner[ts->task.owner] += seconds;
             acct_.dramBytes += done * ts->task.memBytesPerCycle;

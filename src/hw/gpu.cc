@@ -39,7 +39,9 @@ void
 GpuModel::submit(GpuJob job)
 {
     AV_ASSERT(job.onComplete, "GPU job without completion callback");
-    auto *state = new JobState{std::move(job), 0, eq_.now()};
+    auto state =
+        std::make_shared<JobState>(JobState{std::move(job), 0,
+                                            eq_.now()});
     ++inFlight_;
     if (state->job.h2dBytes > 0.0) {
         copyQueue_.push_back(CopyEntry{state, state->job.h2dBytes,
@@ -51,7 +53,7 @@ GpuModel::submit(GpuJob job)
 }
 
 void
-GpuModel::advanceJob(JobState *job)
+GpuModel::advanceJob(const std::shared_ptr<JobState> &job)
 {
     if (job->nextKernel < job->job.kernels.size()) {
         computeQueue_.push_back(
@@ -71,15 +73,16 @@ GpuModel::advanceJob(JobState *job)
 }
 
 void
-GpuModel::finishJob(JobState *job)
+GpuModel::finishJob(const std::shared_ptr<JobState> &job)
 {
     const double resident_s =
-        static_cast<double>(eq_.now() - job->enqueued) * 1e-9;
+        sim::ticksToSeconds(eq_.now() - job->enqueued);
     acct_.residentSecondsByOwner[job->job.owner] += resident_s;
     ++acct_.jobsCompleted;
     --inFlight_;
+    // The queue entries holding the last references die with the
+    // completion lambda; moving the callback out keeps it alive.
     auto callback = std::move(job->job.onComplete);
-    delete job;
     callback();
 }
 
@@ -102,15 +105,14 @@ GpuModel::pumpCompute()
 void
 GpuModel::kernelDone(ComputeEntry entry, sim::Tick started)
 {
-    const double active_s =
-        static_cast<double>(eq_.now() - started) * 1e-9;
+    const double active_s = sim::ticksToSeconds(eq_.now() - started);
     const GpuKernel &k = entry.job->job.kernels[entry.kernelIndex];
     acct_.kernelActiveSeconds += active_s;
     acct_.weightedActiveSeconds += active_s * k.powerWeight;
     acct_.activeSecondsByOwner[entry.job->job.owner] += active_s;
     ++acct_.kernelsExecuted;
     computeBusy_ = false;
-    JobState *job = entry.job;
+    const std::shared_ptr<JobState> job = entry.job;
     pumpCompute();
     advanceJob(job);
 }
@@ -133,11 +135,10 @@ GpuModel::pumpCopy()
 void
 GpuModel::copyDone(CopyEntry entry, sim::Tick started)
 {
-    acct_.copyActiveSeconds +=
-        static_cast<double>(eq_.now() - started) * 1e-9;
+    acct_.copyActiveSeconds += sim::ticksToSeconds(eq_.now() - started);
     acct_.pcieBytes += entry.bytes;
     copyBusy_ = false;
-    JobState *job = entry.job;
+    const std::shared_ptr<JobState> job = entry.job;
     pumpCopy();
     if (entry.isH2d) {
         advanceJob(job);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <map>
 #include <string>
 #include <vector>
@@ -122,13 +123,13 @@ class GpuModel
     /** Compute-queue entry: one kernel of one job. */
     struct ComputeEntry
     {
-        JobState *job;
+        std::shared_ptr<JobState> job;
         std::size_t kernelIndex;
     };
     /** Copy-queue entry. */
     struct CopyEntry
     {
-        JobState *job;
+        std::shared_ptr<JobState> job;
         double bytes;
         bool isH2d;
     };
@@ -140,8 +141,8 @@ class GpuModel
     void pumpCopy();
     void kernelDone(ComputeEntry entry, sim::Tick started);
     void copyDone(CopyEntry entry, sim::Tick started);
-    void advanceJob(JobState *job);
-    void finishJob(JobState *job);
+    void advanceJob(const std::shared_ptr<JobState> &job);
+    void finishJob(const std::shared_ptr<JobState> &job);
 };
 
 } // namespace av::hw

@@ -7,6 +7,9 @@ namespace av::perception {
 
 namespace {
 
+/** Logical probe region (block 56-63, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionGrid = 56;
+
 Costmap
 emptyGrid(const geom::Pose2 &ego, const CostmapConfig &config,
           uarch::KernelProfiler &prof)
@@ -55,14 +58,17 @@ paintDisc(Costmap &map, const geom::Vec2 &world, double radius,
             if (dx * dx + dy * dy >
                 double(r_cells) * r_cells)
                 continue;
-            float &cell =
-                map.cost[static_cast<std::size_t>(y) * map.cellsX +
-                         x];
+            const std::size_t cell_idx =
+                static_cast<std::size_t>(y) * map.cellsX +
+                static_cast<std::size_t>(x);
+            float &cell = map.cost[cell_idx];
             cell = std::max(cell, value);
             ++painted;
             if (prof.tracing() && painted % 8 == 0) {
-                prof.store(&cell);
-                prof.load(&cell);
+                prof.store(regionGrid, cell_idx * sizeof(float),
+                           sizeof(float));
+                prof.load(regionGrid, cell_idx * sizeof(float),
+                          sizeof(float));
                 prof.hotLoads(24); // row-local raster arithmetic
                 prof.hotStores(7);
             }

@@ -14,6 +14,10 @@ enum Site : std::uint64_t {
     siteClusterAccept = 0x73002,
 };
 
+/** Logical probe regions (block 24-31, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionVisited = 24;
+constexpr uarch::KernelProfiler::Region regionMembers = 25;
+
 } // namespace
 
 pc::PointCloud
@@ -77,7 +81,7 @@ euclideanCluster(const pc::PointCloud &cloud,
                               found, prof);
             for (const std::uint32_t n : found) {
                 if (prof.tracing()) {
-                    prof.load(&visited[n], 1);
+                    prof.load(regionVisited, n, 1);
                     prof.hotLoads(3);
                 }
                 if (visited[n])
@@ -87,8 +91,11 @@ euclideanCluster(const pc::PointCloud &cloud,
                     // The visited flags and the growing member /
                     // frontier vectors all write scattered lines —
                     // the poor write locality of Table VII.
-                    prof.store(&visited[n], 1);
-                    prof.store(&members.data()[members.size()]);
+                    prof.store(regionVisited, n, 1);
+                    prof.store(regionMembers,
+                               members.size() *
+                                   sizeof(std::uint32_t),
+                               sizeof(std::uint32_t));
                 }
                 members.push_back(n);
                 frontier.push_back(n);

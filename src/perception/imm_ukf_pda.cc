@@ -16,6 +16,9 @@ enum Site : std::uint64_t {
     siteDrop = 0x74003,
 };
 
+/** Logical probe region (block 32-39, see profiler.hh). */
+constexpr av::uarch::KernelProfiler::Region regionTracks = 32;
+
 /** Model indices. */
 enum Model : std::size_t { modelCv = 0, modelCtrv = 1, modelRm = 2 };
 
@@ -235,10 +238,15 @@ ImmUkfPdaTracker::predictTrack(InternalTrack &track, double dt,
         m.p = cov;
         if (prof.tracing()) {
             // Track state/covariance reads; hot after first touch
-            // but scattered across the track vector.
-            prof.load(&m.p, sizeof(StateMat));
-            prof.load(&m.x, sizeof(StateVec));
-            prof.store(&m.p, sizeof(StateMat));
+            // but scattered across the track population. The track
+            // id + model index locate the state logically.
+            const std::uint64_t at =
+                (std::uint64_t{track.pub.id} * nModels + mi) *
+                sizeof(ModelState);
+            prof.load(regionTracks, at, sizeof(StateMat));
+            prof.load(regionTracks, at + sizeof(StateMat),
+                      sizeof(StateVec));
+            prof.store(regionTracks, at, sizeof(StateMat));
             prof.hotLoads(360);
             prof.hotStores(220);
         }

@@ -6,6 +6,13 @@
 
 namespace av::perception {
 
+namespace {
+
+/** Logical probe region (block 40-47, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionPaths = 40;
+
+} // namespace
+
 ObjectList
 predictMotion(const ObjectList &tracked, const PredictConfig &config,
               uarch::KernelProfiler prof)
@@ -31,7 +38,12 @@ predictMotion(const ObjectList &tracked, const PredictConfig &config,
                    (speed * config.stepSec);
             obj.predictedPath.push_back(pos);
             if (prof.tracing())
-                prof.store(&obj.predictedPath.back());
+                prof.store(regionPaths,
+                           (static_cast<std::uint64_t>(
+                                &obj - out.objects.data()) *
+                                steps +
+                            s) * sizeof(geom::Vec2),
+                           sizeof(geom::Vec2));
             ++emitted;
         }
     }

@@ -20,6 +20,9 @@ const uarch::OpCounts scoreOps{/*loads=*/38, /*stores=*/10,
                                /*fpAlu=*/38, /*fpDiv=*/1,
                                /*simd=*/0, /*other=*/2};
 
+/** Logical probe region (block 48-55, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionScratch = 48;
+
 } // namespace
 
 void
@@ -168,12 +171,16 @@ NdtMatcher::align(const pc::PointCloud &source,
             prof.hotLoads(45 * pairs + 10 * source.size());
             prof.hotStores(12 * pairs + 4 * source.size());
             // Occasional spill stores over a rotating working
-            // buffer (Eigen temporaries in the real code).
-            static thread_local std::vector<double> scratch(16384);
-            static thread_local std::size_t cursor = 0;
+            // buffer (Eigen temporaries in the real code). The
+            // cursor restarts per scoring pass: state carried
+            // across align() calls would leak one replay's access
+            // pattern into the next and break determinism.
+            constexpr std::size_t scratchDoubles = 16384;
+            std::size_t cursor = 0;
             for (std::uint64_t k = 0; k < pairs / 6; ++k) {
-                prof.store(&scratch[cursor]);
-                cursor = (cursor + 23) % scratch.size();
+                prof.store(regionScratch, cursor * sizeof(double),
+                           sizeof(double));
+                cursor = (cursor + 23) % scratchDoubles;
             }
         }
         prof.bulkBranches(28 * source.size());

@@ -1,9 +1,8 @@
 #include "perception/nodes.hh"
-#include <cstdlib>
-#include <cstdio>
 
 #include <cmath>
 
+#include "util/logging.hh"
 #include "world/recorder.hh"
 
 namespace av::perception {
@@ -116,18 +115,15 @@ NdtMatchingNode::NdtMatchingNode(ros::RosGraph &graph,
             beginWork();
             const NdtResult result =
                 matcher_.align(msg.data, guess, profiler());
-            if (std::getenv("AV_NDT_DEBUG")) {
-                std::fprintf(stderr,
-                             "[ndt] t=%.2f imu=%d guess=(%.2f,%.2f,"
-                             "%.3f) est=(%.2f,%.2f,%.3f) it=%u "
-                             "conv=%d fit=%.2f n=%zu\n",
-                             sim::ticksToSeconds(msg.header.stamp),
-                             imu_.has_value(), guess.p.x, guess.p.y,
-                             guess.yaw, result.pose.p.x,
-                             result.pose.p.y, result.pose.yaw,
-                             result.iterations, result.converged,
-                             result.fitness, msg.data.size());
-            }
+            util::debug("[ndt] t=",
+                        sim::ticksToSeconds(msg.header.stamp),
+                        " imu=", imu_.has_value(), " guess=(",
+                        guess.p.x, ",", guess.p.y, ",", guess.yaw,
+                        ") est=(", result.pose.p.x, ",",
+                        result.pose.p.y, ",", result.pose.yaw,
+                        ") it=", result.iterations, " conv=",
+                        result.converged, " fit=", result.fitness,
+                        " n=", msg.data.size());
 
             PoseEstimate estimate;
             estimate.position = result.pose.p;
@@ -268,7 +264,9 @@ EuclideanClusterNode::EuclideanClusterNode(ros::RosGraph &graph,
             const double kflops = 1.1e10 * (n / 3000.0) + 5.0e8;
             job.kernels = {hw::GpuKernel{kflops, n * 64.0, 0.8},
                            hw::GpuKernel{kflops, n * 32.0, 0.8}};
-            job.d2hBytes = 64.0 * clusters.size() + 1024.0;
+            job.d2hBytes =
+                64.0 * static_cast<double>(clusters.size()) +
+                1024.0;
 
             auto pre = cost;
             pre.cycles *= 0.50;

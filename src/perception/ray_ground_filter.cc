@@ -20,6 +20,19 @@ struct RadialPoint
     std::uint32_t index;
 };
 
+/** Logical probe regions (block 64-71, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionScan = 64;
+constexpr uarch::KernelProfiler::Region regionRays = 65;
+constexpr uarch::KernelProfiler::Region regionGround = 66;
+constexpr uarch::KernelProfiler::Region regionNoGround = 67;
+
+/** 64 KiB of logical space per azimuth ray. */
+std::uint64_t
+rayOffset(std::uint64_t ray, std::uint64_t element)
+{
+    return (ray << 16) + element * sizeof(RadialPoint);
+}
+
 } // namespace
 
 GroundSplit
@@ -46,8 +59,11 @@ rayGroundFilter(const pc::PointCloud &scan,
         rays[bucket].push_back(
             {static_cast<float>(r), p.z, i});
         if (prof.tracing()) {
-            prof.load(&p);
-            prof.store(&rays[bucket]);
+            prof.load(regionScan, i * sizeof(pc::Point),
+                      sizeof(pc::Point));
+            prof.store(regionRays,
+                       rayOffset(bucket, rays[bucket].size() - 1),
+                       sizeof(RadialPoint));
         }
     }
 
@@ -76,7 +92,12 @@ rayGroundFilter(const pc::PointCloud &scan,
         double prev_ground_z = config.initialHeight;
         for (const RadialPoint &rp : ray) {
             if (prof.tracing()) {
-                prof.load(&rp);
+                prof.load(regionRays,
+                          rayOffset(static_cast<std::uint64_t>(
+                                        &ray - rays.data()),
+                                    static_cast<std::uint64_t>(
+                                        &rp - ray.data())),
+                          sizeof(RadialPoint));
                 prof.hotLoads(10);
                 prof.hotStores(4);
             }
@@ -102,10 +123,15 @@ rayGroundFilter(const pc::PointCloud &scan,
             } else {
                 out.noGround.push_back(p);
             }
-            if (prof.tracing())
-                prof.store(is_ground
-                               ? &out.ground.points.back()
-                               : &out.noGround.points.back());
+            if (prof.tracing()) {
+                const auto &dst =
+                    is_ground ? out.ground : out.noGround;
+                prof.store(is_ground ? regionGround
+                                     : regionNoGround,
+                           (dst.points.size() - 1) *
+                               sizeof(pc::Point),
+                           sizeof(pc::Point));
+            }
         }
     }
 

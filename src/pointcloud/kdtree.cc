@@ -24,6 +24,10 @@ const uarch::OpCounts stepOps{/*loads=*/12, /*stores=*/5,
                               /*fpAlu=*/6, /*fpDiv=*/0, /*simd=*/0,
                               /*other=*/1};
 
+/** Logical probe regions (block 8-15, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionNodes = 8;
+constexpr uarch::KernelProfiler::Region regionPoints = 9;
+
 } // namespace
 
 void
@@ -80,7 +84,9 @@ KdTree::buildRange(std::vector<std::uint32_t> &idx, std::size_t lo,
     const std::int32_t me = static_cast<std::int32_t>(nodes_.size());
     nodes_.push_back(Node{coord(idx[mid]), idx[mid], -1, -1, axis});
     if (prof.tracing())
-        prof.store(&nodes_.back());
+        prof.store(regionNodes,
+                   (nodes_.size() - 1) * sizeof(Node),
+                   sizeof(Node));
 
     const std::int32_t left = buildRange(idx, lo, mid, depth + 1, prof);
     const std::int32_t right =
@@ -123,8 +129,11 @@ KdTree::radiusRecurse(std::int32_t node, const geom::Vec3 &query,
     const Point &p = (*cloud_)[n.pointIdx];
     ++steps;
     if (prof.tracing()) {
-        prof.load(&n);
-        prof.load(&p);
+        prof.load(regionNodes,
+                  static_cast<std::size_t>(node) * sizeof(Node),
+                  sizeof(Node));
+        prof.load(regionPoints, n.pointIdx * sizeof(Point),
+                  sizeof(Point));
     }
 
     const double d2 = geom::squaredDistance(query, p.vec());
@@ -176,8 +185,11 @@ KdTree::nearestRecurse(std::int32_t node, const geom::Vec3 &query,
     const Point &p = (*cloud_)[n.pointIdx];
     ++steps;
     if (prof.tracing()) {
-        prof.load(&n);
-        prof.load(&p);
+        prof.load(regionNodes,
+                  static_cast<std::size_t>(node) * sizeof(Node),
+                  sizeof(Node));
+        prof.load(regionPoints, n.pointIdx * sizeof(Point),
+                  sizeof(Point));
     }
 
     const double d2 = geom::squaredDistance(query, p.vec());

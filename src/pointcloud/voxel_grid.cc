@@ -11,6 +11,24 @@ enum Site : std::uint64_t {
     siteVoxelKeep = 0x52002,
 };
 
+/** Logical probe regions (block 16-23, see profiler.hh). */
+constexpr uarch::KernelProfiler::Region regionInPoints = 16;
+constexpr uarch::KernelProfiler::Region regionGrid = 17;
+constexpr uarch::KernelProfiler::Region regionOutPoints = 18;
+constexpr uarch::KernelProfiler::Region regionVoxels = 19;
+
+/**
+ * Logical offset of a voxel-map node. Hash-table nodes have no
+ * stable index, but the key itself is logical identity: hashing it
+ * into a bounded, line-granular space reproduces the scattered
+ * node-allocation layout deterministically.
+ */
+std::uint64_t
+voxelOffset(const VoxelKey &key)
+{
+    return (VoxelKeyHash{}(key) & 0xffffffu) * 128;
+}
+
 } // namespace
 
 VoxelKey
@@ -40,8 +58,12 @@ voxelGridDownsample(const PointCloud &in, double leaf,
         const bool fresh = acc.count == 0;
         prof.branch(siteVoxelNew, fresh);
         if (prof.tracing()) {
-            prof.load(&p);
-            prof.store(&acc, sizeof(Acc));
+            prof.load(regionInPoints,
+                      static_cast<std::uint64_t>(
+                          &p - in.points.data()) *
+                          sizeof(Point),
+                      sizeof(Point));
+            prof.store(regionGrid, voxelOffset(key), sizeof(Acc));
             prof.hotLoads(8);
             prof.hotStores(4);
         }
@@ -53,6 +75,10 @@ voxelGridDownsample(const PointCloud &in, double leaf,
     PointCloud out;
     out.stampNs = in.stampNs;
     out.points.reserve(grid.size());
+    // Hash order is stable for a fixed standard library and
+    // insertion sequence, so same-binary replays stay bit-identical;
+    // the centroid emission order feeds no report directly.
+    // avlint: allow(unordered-iter)
     for (const auto &[key, acc] : grid) {
         (void)key;
         const geom::Vec3 c =
@@ -60,7 +86,9 @@ voxelGridDownsample(const PointCloud &in, double leaf,
         out.points.push_back(Point::fromVec(
             c, acc.intensity / static_cast<float>(acc.count)));
         if (prof.tracing())
-            prof.store(&out.points.back());
+            prof.store(regionOutPoints,
+                       (out.points.size() - 1) * sizeof(Point),
+                       sizeof(Point));
     }
 
     // Abstract work: hashing + accumulation per input point, one
@@ -101,6 +129,9 @@ GaussianVoxelGrid::build(const PointCloud &cloud, double leaf,
         ++acc.count;
     }
 
+    // Same-binary-deterministic for the reason above; voxel build
+    // order does not reach any report.
+    // avlint: allow(unordered-iter)
     for (const auto &[key, acc] : accs) {
         if (acc.count < minPointsPerVoxel)
             continue;
@@ -140,7 +171,8 @@ GaussianVoxelGrid::lookup(const geom::Vec3 &p,
     if (it == voxels_.end())
         return nullptr;
     if (prof.tracing())
-        prof.load(&it->second, sizeof(Voxel));
+        prof.load(regionVoxels, voxelOffset(it->first),
+                  sizeof(Voxel));
     return &it->second;
 }
 
@@ -163,7 +195,7 @@ GaussianVoxelGrid::neighborhood(const geom::Vec3 &p,
             if (prof.tracing()) {
                 // Only the mean + inverse covariance are touched in
                 // the scoring loop (the full Voxel spans 3 lines).
-                prof.load(&it->second, 96);
+                prof.load(regionVoxels, voxelOffset(k), 96);
             }
             out.push_back(&it->second);
         }

@@ -188,24 +188,47 @@ class KernelProfiler
             state_->recordOps(ops);
     }
 
-    /** Report a (sampled) data load at @p ptr. */
-    template <typename T>
+    /**
+     * Identifier of one logical data region inside a node's probe
+     * address space — an input cloud, an output buffer, a tree's
+     * node pool. Distinct regions never alias. Instrumented
+     * algorithms that can feed the same NodeArchState must use
+     * disjoint ids; each translation unit owns a block of eight:
+     * dnn/cost.cc 1-7, pointcloud/kdtree.cc 8-15,
+     * pointcloud/voxel_grid.cc 16-23,
+     * perception/euclidean_cluster.cc 24-31,
+     * perception/imm_ukf_pda.cc 32-39,
+     * perception/motion_predict.cc 40-47, perception/ndt.cc 48-55,
+     * perception/costmap.cc 56-63,
+     * perception/ray_ground_filter.cc 64-71.
+     */
+    using Region = std::uint32_t;
+
+    /**
+     * Report a (sampled) data load at byte @p offset of @p region.
+     *
+     * Probes address a *logical* space, never host pointers: the
+     * host allocator's layout differs run to run (co-location,
+     * chunk reuse, alignment), which would make modelled miss
+     * rates — and every latency derived from them —
+     * nondeterministic. Offsets derived from indices, keys or
+     * cursors carry exactly the locality the model needs
+     * (sequential scans stay sequential, pointer chasing stays
+     * scattered) while keeping replays bit-identical.
+     */
     void
-    load(const T *ptr, std::uint32_t bytes = sizeof(T))
+    load(Region region, std::uint64_t offset, std::uint32_t bytes)
     {
         if (tracing())
-            state_->recordLoad(reinterpret_cast<std::uintptr_t>(ptr),
-                               bytes);
+            state_->recordLoad(logicalAddr(region, offset), bytes);
     }
 
-    /** Report a (sampled) data store at @p ptr. */
-    template <typename T>
+    /** Report a (sampled) data store at @p offset of @p region. */
     void
-    store(const T *ptr, std::uint32_t bytes = sizeof(T))
+    store(Region region, std::uint64_t offset, std::uint32_t bytes)
     {
         if (tracing())
-            state_->recordStore(reinterpret_cast<std::uintptr_t>(ptr),
-                                bytes);
+            state_->recordStore(logicalAddr(region, offset), bytes);
     }
 
     /** Report a data-dependent branch outcome. */
@@ -247,6 +270,17 @@ class KernelProfiler
     bool attached() const { return state_ != nullptr; }
 
   private:
+    /**
+     * Region bases are staggered by an odd number of cache lines so
+     * the regions of one node do not all map to set 0.
+     */
+    static constexpr std::uintptr_t
+    logicalAddr(Region region, std::uint64_t offset)
+    {
+        return (std::uintptr_t{region} << 40) +
+               std::uintptr_t{region} * (11 * 64) + offset;
+    }
+
     NodeArchState *state_ = nullptr;
 };
 

@@ -1,0 +1,26 @@
+// A violation-free translation unit: every rule must stay quiet.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace av::fixture {
+
+double
+meanLatencyMs(const std::vector<std::uint64_t> &ticks)
+{
+    double sum = 0.0;
+    for (const std::uint64_t t : ticks)
+        sum += static_cast<double>(t);
+    return ticks.empty()
+               ? 0.0
+               : sum / static_cast<double>(ticks.size());
+}
+
+std::unique_ptr<int>
+owned()
+{
+    return std::make_unique<int>(7);
+}
+
+} // namespace av::fixture

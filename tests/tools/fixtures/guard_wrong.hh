@@ -1,0 +1,9 @@
+// Include guard does not spell the canonical AVSCOPE_<PATH>_HH.
+#ifndef WRONG_GUARD_NAME_HH
+#define WRONG_GUARD_NAME_HH
+
+namespace av::fixture {
+inline int three() { return 3; }
+} // namespace av::fixture
+
+#endif // WRONG_GUARD_NAME_HH

@@ -1,0 +1,15 @@
+// Iterates a member whose unordered type lives in the sibling header.
+#include "member_iter.hh"
+
+namespace av::fixture {
+
+double
+Tracker::sum() const
+{
+    double s = 0.0;
+    for (const int v : live_) // line 10
+        s += static_cast<double>(v);
+    return s;
+}
+
+} // namespace av::fixture

@@ -1,0 +1,20 @@
+#ifndef AVSCOPE_FIXTURE_MEMBER_ITER_HH
+#define AVSCOPE_FIXTURE_MEMBER_ITER_HH
+
+#include <unordered_set>
+
+namespace av::fixture {
+
+/** Member container declared here, iterated in member_iter.cc. */
+class Tracker
+{
+  public:
+    double sum() const;
+
+  private:
+    std::unordered_set<int> live_;
+};
+
+} // namespace av::fixture
+
+#endif // AVSCOPE_FIXTURE_MEMBER_ITER_HH

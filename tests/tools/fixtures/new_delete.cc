@@ -1,0 +1,16 @@
+// Naked new/delete; `= delete` must stay legal.
+struct NoCopy
+{
+    NoCopy() = default;
+    NoCopy(const NoCopy &) = delete;            // line 5: legal
+    NoCopy &operator=(const NoCopy &) = delete; // line 6: legal
+};
+
+int
+leaky()
+{
+    int *p = new int(4); // line 12
+    const int v = *p;
+    delete p; // line 14
+    return v;
+}

@@ -1,0 +1,10 @@
+// stdio/iostream reporting inside library code.
+#include <cstdio>
+#include <iostream>
+
+void
+report(double watts)
+{
+    std::printf("cpu %.1f W\n", watts); // line 8
+    std::cout << watts << "\n";         // line 9
+}

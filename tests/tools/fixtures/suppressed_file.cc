@@ -1,0 +1,9 @@
+// avlint: allow-file(print-in-library)
+#include <cstdio>
+
+void
+noisy(int n)
+{
+    std::printf("n=%d\n", n);
+    std::printf("again %d\n", n);
+}

@@ -1,0 +1,16 @@
+// Raw double time arithmetic that must go through sim/ticks.hh.
+#include <cstdint>
+
+double
+toSeconds(std::uint64_t now, std::uint64_t enqueued)
+{
+    const double dt = static_cast<double>(now - enqueued);
+    return dt * 1e-9; // line 8: hand-rolled tick->seconds scaling
+}
+
+double
+sentinel()
+{
+    double best_diff = 1e9; // line 14: plain sentinel, not time
+    return best_diff;
+}

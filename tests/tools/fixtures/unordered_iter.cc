@@ -1,0 +1,16 @@
+// Hash-order iteration over unordered containers.
+#include <string>
+#include <unordered_map>
+
+double
+total(const std::unordered_map<std::string, double> &)
+{
+    std::unordered_map<std::string, double> byOwner;
+    byOwner["a"] = 1.0;
+    double sum = 0.0;
+    for (const auto &[owner, seconds] : byOwner) // line 11
+        sum += seconds;
+    for (auto it = byOwner.begin(); it != byOwner.end(); ++it) // 13
+        sum += it->second;
+    return sum;
+}

@@ -1,0 +1,8 @@
+#ifndef AVSCOPE_WORLD_USING_NAMESPACE_HH
+#define AVSCOPE_WORLD_USING_NAMESPACE_HH
+
+#include <string>
+
+using namespace std; // line 6: leaks into every includer
+
+#endif // AVSCOPE_WORLD_USING_NAMESPACE_HH

@@ -1,0 +1,16 @@
+// Seeded wall-clock violations. Linted as library code.
+#include <chrono>
+#include <cstdlib>
+
+long
+sample()
+{
+    auto t0 = std::chrono::system_clock::now();      // line 8
+    auto t1 = std::chrono::steady_clock::now();      // line 9
+    const int r = rand();                            // line 10
+    const char *env = std::getenv("SEED");           // line 11
+    (void)t0;
+    (void)t1;
+    (void)env;
+    return r;
+}

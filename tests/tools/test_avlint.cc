@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fixture-driven tests for avlint: every rule firing with exact rule
+ * id and line number, path-scoped exemptions, and the suppression
+ * comment syntax. Fixtures live under tests/tools/fixtures/ and are
+ * read at runtime (never compiled).
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "avlint.hh"
+
+namespace {
+
+using av::lint::Diagnostic;
+using av::lint::lintFile;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(AVLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** (rule, line) pairs, sorted, for compact comparison. */
+std::vector<std::pair<std::string, int>>
+ruleLines(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::pair<std::string, int>> out;
+    for (const Diagnostic &d : diags)
+        out.emplace_back(d.rule, d.line);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+using Pairs = std::vector<std::pair<std::string, int>>;
+
+TEST(Avlint, CleanFileHasNoFindings)
+{
+    const auto diags =
+        lintFile(fixture("clean.cc"), "src/fixture/clean.cc");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(Avlint, WallClockSourcesFlaggedWithLines)
+{
+    const auto diags = lintFile(fixture("wall_clock.cc"),
+                                "src/fixture/wall_clock.cc");
+    EXPECT_EQ(ruleLines(diags), (Pairs{{"wall-clock", 8},
+                                       {"wall-clock", 9},
+                                       {"wall-clock", 10},
+                                       {"wall-clock", 11}}));
+}
+
+TEST(Avlint, UtilRandomIsExemptFromWallClock)
+{
+    const auto diags =
+        lintFile(fixture("wall_clock.cc"), "src/util/random.cc");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(Avlint, RawTimeArithFlaggedButSentinelsLegal)
+{
+    const auto diags = lintFile(fixture("time_arith.cc"),
+                                "src/fixture/time_arith.cc");
+    EXPECT_EQ(ruleLines(diags), (Pairs{{"raw-time-arith", 8}}));
+}
+
+TEST(Avlint, IncludeGuardMismatchNamesExpectedGuard)
+{
+    const auto diags = lintFile(fixture("guard_wrong.hh"),
+                                "src/world/guard_wrong.hh");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "include-guard");
+    EXPECT_EQ(diags[0].line, 2);
+    EXPECT_NE(diags[0].message.find("AVSCOPE_WORLD_GUARD_WRONG_HH"),
+              std::string::npos);
+}
+
+TEST(Avlint, UsingNamespaceInHeaderFlagged)
+{
+    const auto diags = lintFile(fixture("using_namespace.hh"),
+                                "src/world/using_namespace.hh");
+    EXPECT_EQ(ruleLines(diags),
+              (Pairs{{"using-namespace-header", 6}}));
+}
+
+TEST(Avlint, UnorderedIterationFlaggedForLocals)
+{
+    const auto diags = lintFile(fixture("unordered_iter.cc"),
+                                "src/fixture/unordered_iter.cc");
+    EXPECT_EQ(ruleLines(diags), (Pairs{{"unordered-iter", 11},
+                                       {"unordered-iter", 13}}));
+}
+
+TEST(Avlint, UnorderedIterationSeesCompanionHeaderMembers)
+{
+    const auto diags = lintFile(fixture("member_iter.cc"),
+                                "src/fixture/member_iter.cc");
+    EXPECT_EQ(ruleLines(diags), (Pairs{{"unordered-iter", 10}}));
+}
+
+TEST(Avlint, NakedNewDeleteFlaggedButDeletedFunctionsLegal)
+{
+    const auto diags = lintFile(fixture("new_delete.cc"),
+                                "src/fixture/new_delete.cc");
+    EXPECT_EQ(ruleLines(diags), (Pairs{{"raw-new-delete", 12},
+                                       {"raw-new-delete", 14}}));
+}
+
+TEST(Avlint, PrintFlaggedInLibraryCodeOnly)
+{
+    const auto in_src = lintFile(fixture("print_library.cc"),
+                                 "src/fixture/print_library.cc");
+    EXPECT_EQ(ruleLines(in_src), (Pairs{{"print-in-library", 8},
+                                        {"print-in-library", 9}}));
+
+    const auto in_bench = lintFile(fixture("print_library.cc"),
+                                   "bench/print_library.cc");
+    EXPECT_TRUE(in_bench.empty());
+}
+
+TEST(Avlint, SuppressionCommentSilencesSameAndNextLine)
+{
+    const auto diags = lintFile(fixture("suppressed.cc"),
+                                "src/fixture/suppressed.cc");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(Avlint, FileLevelSuppressionSilencesWholeFile)
+{
+    const auto diags = lintFile(fixture("suppressed_file.cc"),
+                                "src/fixture/suppressed_file.cc");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(Avlint, RuleCatalogIsStable)
+{
+    const auto names = av::lint::ruleNames();
+    EXPECT_EQ(names.size(), 7u);
+    EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"),
+              names.end());
+}
+
+} // namespace

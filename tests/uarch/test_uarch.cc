@@ -241,8 +241,7 @@ TEST(Profiler, DetachedIsNoop)
     OpCounts ops;
     ops.loads = 5;
     prof.addOps(ops); // must not crash
-    int x = 0;
-    prof.load(&x);
+    prof.load(1, 0, sizeof(int));
     prof.branch(1, true);
 }
 
@@ -256,9 +255,8 @@ TEST(Profiler, InvocationCostReflectsWork)
     ops.loads = 400;
     ops.intAlu = 600;
     prof.addOps(ops);
-    std::vector<int> data(1000);
-    for (int &v : data)
-        prof.load(&v);
+    for (std::size_t i = 0; i < 1000; ++i)
+        prof.load(1, i * sizeof(int), sizeof(int));
     const InvocationCost cost = state.endInvocation();
     EXPECT_EQ(cost.ops.total(), 1000u);
     EXPECT_GT(cost.cycles, 0.0);
@@ -299,21 +297,21 @@ TEST(Profiler, EwmaTracksLocality)
     // hot-set hits pull it down.
     NodeArchState state(CacheConfig{4096, 4, 64}, BranchConfig(),
                         PipelineConfig(), 1);
-    std::vector<char> big(1 << 20);
+    const std::size_t big = 1 << 20;
     for (int inv = 0; inv < 5; ++inv) {
         state.beginInvocation();
         KernelProfiler prof(&state);
         OpCounts ops;
         ops.loads = 16384;
         prof.addOps(ops);
-        for (std::size_t i = 0; i < big.size(); i += 64)
-            prof.load(&big[i]);
+        for (std::size_t i = 0; i < big; i += 64)
+            prof.load(1, i, 1);
         state.endInvocation();
     }
     const double streaming_miss = state.ewmaReadMiss();
     EXPECT_GT(streaming_miss, 0.5);
 
-    std::vector<char> small(1024);
+    const std::size_t small = 1024;
     for (int inv = 0; inv < 30; ++inv) {
         state.beginInvocation();
         KernelProfiler prof(&state);
@@ -321,8 +319,8 @@ TEST(Profiler, EwmaTracksLocality)
         ops.loads = 4096;
         prof.addOps(ops);
         for (int rep = 0; rep < 256; ++rep)
-            for (std::size_t i = 0; i < small.size(); i += 64)
-                prof.load(&small[i]);
+            for (std::size_t i = 0; i < small; i += 64)
+                prof.load(2, i, 1);
         state.endInvocation();
     }
     EXPECT_LT(state.ewmaReadMiss(), streaming_miss / 4.0);

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * avlint — AVScope's in-repo static checker.
+ *
+ * The simulator's claim to validity is bit-for-bit determinism: every
+ * probe reads the virtual clock (sim/ticks.hh) and every stochastic
+ * component draws from an explicitly seeded util::Rng. Nothing in the
+ * compiler enforces that contract, so avlint does. It tokenizes each
+ * translation unit (comments and string literals stripped) and runs a
+ * set of repo-specific rules:
+ *
+ *   wall-clock        nondeterminism sources (system_clock, rand(),
+ *                     random_device, getenv, ...) outside
+ *                     src/util/random.*
+ *   raw-time-arith    double time arithmetic with 1e9/1e-9 scale
+ *                     factors outside src/sim/ticks.hh — time must go
+ *                     through the Tick helpers
+ *   include-guard     header guards must spell AVSCOPE_<PATH>_HH
+ *   using-namespace-header
+ *                     no `using namespace` in headers
+ *   unordered-iter    iteration over unordered containers (ordering
+ *                     feeds nondeterminism into reports and floating-
+ *                     point accumulation)
+ *   raw-new-delete    naked new/delete outside RAII wrappers
+ *   print-in-library  printf/cout in src/ library code — use
+ *                     util/logging instead
+ *
+ * A diagnostic on line N is silenced by `// avlint: allow(<rule>)` on
+ * the same line, or on a comment-only line directly above. A
+ * file-level `// avlint: allow-file(<rule>)` silences the rule for the
+ * whole file. `*` matches every rule.
+ */
+
+#ifndef AVSCOPE_TOOLS_AVLINT_AVLINT_HH
+#define AVSCOPE_TOOLS_AVLINT_AVLINT_HH
+
+#include <string>
+#include <vector>
+
+namespace av::lint {
+
+/** One finding: file, 1-based line, stable rule id, human message. */
+struct Diagnostic
+{
+    std::string file; ///< path as reported to the user
+    int line = 0;     ///< 1-based source line
+    std::string rule; ///< stable rule id, e.g. "wall-clock"
+    std::string message;
+};
+
+/** Kind of a lexed token. */
+enum class TokenKind {
+    Identifier,
+    Number,
+    Punct,
+};
+
+/** One token of the scrubbed source. */
+struct Token
+{
+    std::string text;
+    int line = 0;
+    TokenKind kind = TokenKind::Punct;
+};
+
+/**
+ * A source file prepared for linting: raw lines (for suppression
+ * comments), scrubbed text (comments and literals blanked), and the
+ * token stream.
+ */
+class SourceFile
+{
+  public:
+    /**
+     * Build from in-memory content.
+     * @param rel_path repo-relative path; drives per-path rule
+     *        exemptions and the expected include-guard name
+     */
+    SourceFile(std::string rel_path, const std::string &content);
+
+    const std::string &relPath() const { return relPath_; }
+    const std::vector<std::string> &rawLines() const { return raw_; }
+    const std::vector<Token> &tokens() const { return tokens_; }
+
+    /** True for .hh files. */
+    bool isHeader() const;
+
+    /** True when @p rule is suppressed on @p line (1-based). */
+    bool suppressed(const std::string &rule, int line) const;
+
+  private:
+    struct Suppression
+    {
+        int line;         ///< line the comment sits on
+        bool wholeFile;   ///< allow-file(...) form
+        bool nextLineOnly;///< comment-only line: applies to line+1
+        std::vector<std::string> rules; ///< "*" matches all
+    };
+
+    std::string relPath_;
+    std::vector<std::string> raw_;
+    std::vector<Token> tokens_;
+    std::vector<Suppression> suppressions_;
+
+    void parseSuppressions();
+    void tokenize(const std::string &scrubbed);
+};
+
+/** Names of all rules, in reporting order. */
+std::vector<std::string> ruleNames();
+
+/**
+ * Run every rule over @p file. @p companion, when non-null, is the
+ * sibling header of a .cc file; its declarations seed the
+ * unordered-iter rule so members declared in the header are tracked.
+ * Suppressions are already applied to the returned list.
+ */
+std::vector<Diagnostic> lintSource(const SourceFile &file,
+                                   const SourceFile *companion);
+
+/**
+ * Load @p fs_path from disk and lint it as @p rel_path. Looks for a
+ * sibling .hh next to a .cc automatically.
+ */
+std::vector<Diagnostic> lintFile(const std::string &fs_path,
+                                 const std::string &rel_path);
+
+/**
+ * Lint the whole repo rooted at @p root: src/, bench/, examples/ and
+ * tools/ (tests/ hosts intentionally-violating fixtures). Results are
+ * sorted by path and line so output is deterministic.
+ */
+std::vector<Diagnostic> lintTree(const std::string &root);
+
+} // namespace av::lint
+
+#endif // AVSCOPE_TOOLS_AVLINT_AVLINT_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * File loading and repo-tree walking for avlint.
+ */
+
+#include "avlint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace av::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<std::string>
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+bool
+lintableExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp";
+}
+
+/** The sibling header a .cc implements, when it exists. */
+std::optional<fs::path>
+companionHeader(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    if (ext != ".cc" && ext != ".cpp")
+        return std::nullopt;
+    fs::path header = path;
+    header.replace_extension(".hh");
+    if (fs::exists(header))
+        return header;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintFile(const std::string &fs_path, const std::string &rel_path)
+{
+    const auto content = slurp(fs_path);
+    if (!content)
+        return {Diagnostic{rel_path, 0, "io-error",
+                           "cannot read file"}};
+    const SourceFile file(rel_path, *content);
+
+    std::optional<SourceFile> companion;
+    if (const auto header = companionHeader(fs_path)) {
+        if (const auto htext = slurp(*header))
+            companion.emplace(header->string(), *htext);
+    }
+    return lintSource(file, companion ? &*companion : nullptr);
+}
+
+std::vector<Diagnostic>
+lintTree(const std::string &root)
+{
+    static const char *const subdirs[] = {"src", "bench", "examples",
+                                          "tools"};
+    std::vector<fs::path> files;
+    for (const char *sub : subdirs) {
+        const fs::path dir = fs::path(root) / sub;
+        if (!fs::exists(dir))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir))
+            if (entry.is_regular_file() &&
+                lintableExtension(entry.path()))
+                files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    // A tree with nothing to lint means the root is wrong; a silent
+    // "clean" here would let a misconfigured CI gate pass forever.
+    if (files.empty())
+        return {Diagnostic{root, 0, "io-error",
+                           "no lintable files under root"}};
+
+    std::vector<Diagnostic> out;
+    for (const fs::path &path : files) {
+        const std::string rel =
+            fs::relative(path, root).generic_string();
+        auto diags = lintFile(path.string(), rel);
+        out.insert(out.end(),
+                   std::make_move_iterator(diags.begin()),
+                   std::make_move_iterator(diags.end()));
+    }
+    return out;
+}
+
+} // namespace av::lint

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * avlint CLI.
+ *
+ *   avlint --root <repo>          lint src/ bench/ examples/ tools/
+ *   avlint --list-rules           print the rule catalog
+ *   avlint <file> [rel-path]      lint one file (rel-path controls
+ *                                 path-scoped rules; defaults to the
+ *                                 file path itself)
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage error.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "avlint.hh"
+
+namespace {
+
+int
+report(const std::vector<av::lint::Diagnostic> &diags)
+{
+    for (const auto &d : diags)
+        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    if (diags.empty()) {
+        std::printf("avlint: clean\n");
+        return 0;
+    }
+    std::printf("avlint: %zu finding(s)\n", diags.size());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        std::fprintf(stderr,
+                     "usage: avlint --root <repo> | --list-rules |"
+                     " <file> [rel-path]\n");
+        return 2;
+    }
+    if (args[0] == "--list-rules") {
+        for (const std::string &name : av::lint::ruleNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (args[0] == "--root") {
+        if (args.size() != 2) {
+            std::fprintf(stderr, "avlint: --root needs a path\n");
+            return 2;
+        }
+        return report(av::lint::lintTree(args[1]));
+    }
+    if (args[0].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "avlint: unknown option '%s'\n",
+                     args[0].c_str());
+        return 2;
+    }
+    const std::string rel = args.size() > 1 ? args[1] : args[0];
+    return report(av::lint::lintFile(args[0], rel));
+}

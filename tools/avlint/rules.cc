@@ -1,0 +1,413 @@
+/**
+ * @file
+ * The avlint rule set. Each rule is a small matcher over the token
+ * stream of one SourceFile; see avlint.hh for the catalog and the
+ * rationale per rule.
+ */
+
+#include "avlint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace av::lint {
+
+namespace {
+
+using Diags = std::vector<Diagnostic>;
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void
+emit(Diags &out, const SourceFile &f, int line,
+     const std::string &rule, const std::string &message)
+{
+    out.push_back(Diagnostic{f.relPath(), line, rule, message});
+}
+
+// ---------------------------------------------------------------
+// wall-clock: nondeterminism sources outside src/util/random.*.
+// One stray wall-clock read or unseeded RNG breaks bit-for-bit
+// reproduction of Fig. 5-8 / Tables III-VII.
+// ---------------------------------------------------------------
+
+void
+ruleWallClock(const SourceFile &f, Diags &out)
+{
+    if (startsWith(f.relPath(), "src/util/random."))
+        return;
+
+    static const std::set<std::string> banned = {
+        "system_clock",     "steady_clock",
+        "high_resolution_clock", "clock_gettime",
+        "gettimeofday",     "random_device",
+        "default_random_engine", "drand48",
+        "srand48",
+    };
+    // These also need a call paren: plain words are too common.
+    static const std::set<std::string> bannedCalls = {
+        "rand", "srand", "getenv",
+    };
+
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Identifier)
+            continue;
+        const bool call = bannedCalls.count(t.text) &&
+                          i + 1 < toks.size() &&
+                          toks[i + 1].text == "(";
+        if (banned.count(t.text) || call)
+            emit(out, f, t.line, "wall-clock",
+                 "'" + t.text + "' is a nondeterminism source; draw"
+                 " from util::Rng / the virtual clock instead");
+    }
+}
+
+// ---------------------------------------------------------------
+// raw-time-arith: scaling time by 1e9/1e-9 by hand instead of
+// going through the sim/ticks.hh helpers.
+// ---------------------------------------------------------------
+
+bool
+isTimeScale(const std::string &text)
+{
+    const char *s = text.c_str();
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s)
+        return false;
+    return v == 1e9 || v == 1e-9;
+}
+
+bool
+isTimeIdent(const std::string &ident)
+{
+    const std::string id = lower(ident);
+    static const std::set<std::string> exact = {"dt", "now", "t"};
+    if (exact.count(id))
+        return true;
+    static const char *const stems[] = {
+        "tick", "stamp", "time",  "enqueued", "elapsed",
+        "started", "lastupdate", "deadline", "period", "latency",
+    };
+    for (const char *stem : stems)
+        if (id.find(stem) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+ruleRawTimeArith(const SourceFile &f, Diags &out)
+{
+    if (f.relPath() == "src/sim/ticks.hh")
+        return;
+
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Number || !isTimeScale(t.text))
+            continue;
+        const bool mul_div =
+            (i > 0 && (toks[i - 1].text == "*" ||
+                       toks[i - 1].text == "/")) ||
+            (i + 1 < toks.size() && (toks[i + 1].text == "*" ||
+                                     toks[i + 1].text == "/"));
+        if (!mul_div)
+            continue;
+        // Only fire when a time-ish identifier shares the
+        // statement's line; bare 1e9 sentinels stay legal.
+        bool time_context = false;
+        for (const Token &o : toks) {
+            if (o.line < t.line - 1)
+                continue;
+            if (o.line > t.line)
+                break;
+            if (o.kind == TokenKind::Identifier &&
+                isTimeIdent(o.text)) {
+                time_context = true;
+                break;
+            }
+        }
+        if (time_context)
+            emit(out, f, t.line, "raw-time-arith",
+                 "scaling time by " + t.text + " by hand; use the"
+                 " sim/ticks.hh Tick helpers");
+    }
+}
+
+// ---------------------------------------------------------------
+// include-guard: headers carry AVSCOPE_<PATH>_HH guards.
+// ---------------------------------------------------------------
+
+std::string
+expectedGuard(const std::string &rel_path)
+{
+    std::string path = rel_path;
+    if (startsWith(path, "src/"))
+        path = path.substr(4);
+    const std::size_t dot = path.rfind('.');
+    if (dot != std::string::npos)
+        path = path.substr(0, dot);
+    std::string guard = "AVSCOPE_";
+    for (const char c : path) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard.push_back(static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c))));
+        else
+            guard.push_back('_');
+    }
+    guard += "_HH";
+    return guard;
+}
+
+void
+ruleIncludeGuard(const SourceFile &f, Diags &out)
+{
+    if (!f.isHeader())
+        return;
+    const std::string want = expectedGuard(f.relPath());
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "#" || toks[i + 1].text != "ifndef")
+            continue;
+        const Token &name = toks[i + 2];
+        if (name.text != want) {
+            emit(out, f, name.line, "include-guard",
+                 "guard '" + name.text + "' should be '" + want +
+                     "'");
+            return;
+        }
+        // #define must follow with the same name.
+        if (i + 5 < toks.size() && toks[i + 3].text == "#" &&
+            toks[i + 4].text == "define" &&
+            toks[i + 5].text == want)
+            return;
+        emit(out, f, name.line, "include-guard",
+             "#ifndef " + want + " not followed by a matching"
+             " #define");
+        return;
+    }
+    emit(out, f, 1, "include-guard",
+         "missing include guard (expected " + want + ")");
+}
+
+// ---------------------------------------------------------------
+// using-namespace-header: headers must not dump namespaces into
+// every includer.
+// ---------------------------------------------------------------
+
+void
+ruleUsingNamespaceHeader(const SourceFile &f, Diags &out)
+{
+    if (!f.isHeader())
+        return;
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i)
+        if (toks[i].text == "using" &&
+            toks[i + 1].text == "namespace")
+            emit(out, f, toks[i].line, "using-namespace-header",
+                 "'using namespace' in a header leaks into every"
+                 " includer");
+}
+
+// ---------------------------------------------------------------
+// unordered-iter: iterating an unordered container. Hash-order
+// iteration feeds nondeterministic ordering (and FP accumulation
+// order) into whatever consumes it; iterate a sorted copy or
+// suppress with a written justification.
+// ---------------------------------------------------------------
+
+std::set<std::string>
+unorderedDecls(const SourceFile &f)
+{
+    std::set<std::string> names;
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier ||
+            !startsWith(toks[i].text, "unordered_"))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= toks.size() || toks[j].text != "<")
+            continue;
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<")
+                ++depth;
+            else if (toks[j].text == ">" && --depth == 0)
+                break;
+        }
+        if (j + 1 >= toks.size())
+            continue;
+        const Token &name = toks[j + 1];
+        if (name.kind != TokenKind::Identifier)
+            continue;
+        // `unordered_map<...> f()` declares a function, not a var.
+        if (j + 2 < toks.size() && toks[j + 2].text == "(")
+            continue;
+        names.insert(name.text);
+    }
+    return names;
+}
+
+void
+ruleUnorderedIter(const SourceFile &f, const SourceFile *companion,
+                  Diags &out)
+{
+    std::set<std::string> names = unorderedDecls(f);
+    if (companion)
+        names.merge(unorderedDecls(*companion));
+    if (names.empty())
+        return;
+
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        // Range-for over a tracked container.
+        if (toks[i].text == "for" && i + 1 < toks.size() &&
+            toks[i + 1].text == "(") {
+            int depth = 0;
+            bool after_colon = false;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                if (toks[j].text == "(") {
+                    ++depth;
+                } else if (toks[j].text == ")") {
+                    if (--depth == 0)
+                        break;
+                } else if (depth == 1 && toks[j].text == ":" &&
+                           toks[j - 1].text != ":" &&
+                           (j + 1 >= toks.size() ||
+                            toks[j + 1].text != ":")) {
+                    after_colon = true;
+                } else if (after_colon &&
+                           toks[j].kind ==
+                               TokenKind::Identifier &&
+                           names.count(toks[j].text)) {
+                    emit(out, f, toks[i].line, "unordered-iter",
+                         "iterating unordered container '" +
+                             toks[j].text +
+                             "' — hash order is not part of the"
+                             " determinism contract");
+                    break;
+                }
+            }
+        }
+        // Explicit name.begin() / name.cbegin().
+        if (toks[i].kind == TokenKind::Identifier &&
+            names.count(toks[i].text) && i + 2 < toks.size() &&
+            toks[i + 1].text == "." &&
+            (toks[i + 2].text == "begin" ||
+             toks[i + 2].text == "cbegin"))
+            emit(out, f, toks[i].line, "unordered-iter",
+                 "iterating unordered container '" + toks[i].text +
+                     "' — hash order is not part of the"
+                     " determinism contract");
+    }
+}
+
+// ---------------------------------------------------------------
+// raw-new-delete: naked new/delete outside RAII wrappers.
+// ---------------------------------------------------------------
+
+void
+ruleRawNewDelete(const SourceFile &f, Diags &out)
+{
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Identifier)
+            continue;
+        if (t.text == "new") {
+            emit(out, f, t.line, "raw-new-delete",
+                 "naked 'new'; own the allocation with"
+                 " unique_ptr/shared_ptr");
+        } else if (t.text == "delete") {
+            // `= delete;` declares a deleted function.
+            const bool deleted_fn =
+                i > 0 && toks[i - 1].text == "=" &&
+                i + 1 < toks.size() &&
+                (toks[i + 1].text == ";" || toks[i + 1].text == ",");
+            if (!deleted_fn)
+                emit(out, f, t.line, "raw-new-delete",
+                     "naked 'delete'; let a smart pointer release"
+                     " the allocation");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// print-in-library: src/ code reports through util/logging, never
+// straight to stdio (benches/examples/tools may print freely).
+// ---------------------------------------------------------------
+
+void
+rulePrintInLibrary(const SourceFile &f, Diags &out)
+{
+    if (!startsWith(f.relPath(), "src/") ||
+        startsWith(f.relPath(), "src/util/logging."))
+        return;
+
+    static const std::set<std::string> banned = {
+        "printf", "fprintf", "sprintf", "vprintf", "puts",
+        "putchar", "cout", "cerr",
+    };
+    for (const Token &t : f.tokens())
+        if (t.kind == TokenKind::Identifier && banned.count(t.text))
+            emit(out, f, t.line, "print-in-library",
+                 "'" + t.text + "' in library code; report through"
+                 " util/logging");
+}
+
+} // namespace
+
+std::vector<std::string>
+ruleNames()
+{
+    return {
+        "wall-clock",        "raw-time-arith",
+        "include-guard",     "using-namespace-header",
+        "unordered-iter",    "raw-new-delete",
+        "print-in-library",
+    };
+}
+
+std::vector<Diagnostic>
+lintSource(const SourceFile &file, const SourceFile *companion)
+{
+    Diags all;
+    ruleWallClock(file, all);
+    ruleRawTimeArith(file, all);
+    ruleIncludeGuard(file, all);
+    ruleUsingNamespaceHeader(file, all);
+    ruleUnorderedIter(file, companion, all);
+    ruleRawNewDelete(file, all);
+    rulePrintInLibrary(file, all);
+
+    Diags kept;
+    for (Diagnostic &d : all)
+        if (!file.suppressed(d.rule, d.line))
+            kept.push_back(std::move(d));
+    std::sort(kept.begin(), kept.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return kept;
+}
+
+} // namespace av::lint

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * SourceFile: scrubbing, tokenization and suppression parsing.
+ *
+ * The scrubber blanks comments, string literals and char literals
+ * (newlines preserved so token line numbers match the file), which is
+ * what lets avlint mention banned identifiers in its own strings
+ * without flagging itself.
+ */
+
+#include "avlint.hh"
+
+#include <cctype>
+
+namespace av::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Blank comments and literals; keep newlines and everything else. */
+std::string
+scrub(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    std::size_t i = 0;
+    const std::size_t n = in.size();
+    while (i < n) {
+        const char c = in[i];
+        if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+            while (i < n && in[i] != '\n')
+                ++i;
+        } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(in[i] == '*' && in[i + 1] == '/')) {
+                if (in[i] == '\n')
+                    out.push_back('\n');
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+        } else if (c == '"' || c == '\'') {
+            const char quote = c;
+            out.push_back(quote);
+            ++i;
+            while (i < n && in[i] != quote) {
+                if (in[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (in[i] == '\n')
+                    out.push_back('\n');
+                ++i;
+            }
+            if (i < n) {
+                out.push_back(quote);
+                ++i;
+            }
+        } else {
+            out.push_back(c);
+            ++i;
+        }
+    }
+    return out;
+}
+
+/** Split a comma-separated rule list, trimming blanks. */
+std::vector<std::string>
+splitRules(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : list) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+SourceFile::SourceFile(std::string rel_path,
+                       const std::string &content)
+    : relPath_(std::move(rel_path))
+{
+    std::string line;
+    for (const char c : content) {
+        if (c == '\n') {
+            raw_.push_back(line);
+            line.clear();
+        } else {
+            line.push_back(c);
+        }
+    }
+    if (!line.empty())
+        raw_.push_back(line);
+
+    parseSuppressions();
+    tokenize(scrub(content));
+}
+
+bool
+SourceFile::isHeader() const
+{
+    const std::string suffix = ".hh";
+    return relPath_.size() >= suffix.size() &&
+           relPath_.compare(relPath_.size() - suffix.size(),
+                            suffix.size(), suffix) == 0;
+}
+
+void
+SourceFile::parseSuppressions()
+{
+    const std::string marker = "avlint:";
+    for (std::size_t li = 0; li < raw_.size(); ++li) {
+        const std::string &text = raw_[li];
+        const std::size_t comment = text.find("//");
+        if (comment == std::string::npos)
+            continue;
+        std::size_t at = text.find(marker, comment);
+        if (at == std::string::npos)
+            continue;
+        at += marker.size();
+        while (at < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[at])))
+            ++at;
+
+        const std::string allowFile = "allow-file(";
+        const std::string allow = "allow(";
+        bool whole_file = false;
+        if (text.compare(at, allowFile.size(), allowFile) == 0) {
+            whole_file = true;
+            at += allowFile.size();
+        } else if (text.compare(at, allow.size(), allow) == 0) {
+            at += allow.size();
+        } else {
+            continue;
+        }
+        const std::size_t close = text.find(')', at);
+        if (close == std::string::npos)
+            continue;
+
+        Suppression s;
+        s.line = static_cast<int>(li) + 1;
+        s.wholeFile = whole_file;
+        s.rules = splitRules(text.substr(at, close - at));
+        // A comment on its own line guards the line below it.
+        std::size_t code_end = comment;
+        while (code_end > 0 &&
+               std::isspace(static_cast<unsigned char>(
+                   text[code_end - 1])))
+            --code_end;
+        s.nextLineOnly = code_end == 0;
+        suppressions_.push_back(s);
+    }
+}
+
+bool
+SourceFile::suppressed(const std::string &rule, int line) const
+{
+    for (const Suppression &s : suppressions_) {
+        bool in_scope = s.wholeFile;
+        if (!in_scope)
+            in_scope = s.nextLineOnly ? line == s.line + 1
+                                      : line == s.line;
+        if (!in_scope)
+            continue;
+        for (const std::string &r : s.rules)
+            if (r == "*" || r == rule)
+                return true;
+    }
+    return false;
+}
+
+void
+SourceFile::tokenize(const std::string &scrubbed)
+{
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = scrubbed.size();
+    while (i < n) {
+        const char c = scrubbed[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(scrubbed[i]))
+                ++i;
+            tokens_.push_back(Token{
+                scrubbed.substr(start, i - start), line,
+                TokenKind::Identifier});
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '.' && i + 1 < n &&
+                    std::isdigit(static_cast<unsigned char>(
+                        scrubbed[i + 1])))) {
+            // pp-number: digits, idents, ' separators, and signed
+            // exponents after e/E/p/P.
+            std::size_t start = i;
+            while (i < n) {
+                const char d = scrubbed[i];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    ++i;
+                } else if ((d == '+' || d == '-') && i > start) {
+                    const char prev = scrubbed[i - 1];
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P')
+                        ++i;
+                    else
+                        break;
+                } else {
+                    break;
+                }
+            }
+            tokens_.push_back(Token{
+                scrubbed.substr(start, i - start), line,
+                TokenKind::Number});
+        } else {
+            tokens_.push_back(Token{
+                std::string(1, c), line, TokenKind::Punct});
+            ++i;
+        }
+    }
+}
+
+} // namespace av::lint
