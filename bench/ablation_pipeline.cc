@@ -6,98 +6,77 @@
  * insists on including (§III-B). Sweeps:
  *
  *  - camera frame rate (the SSD512 drop cliff),
- *  - LiDAR rate (the whole LiDAR pipeline's load),
  *  - transport bandwidth (serialize/copy costs: "memory transfers
  *    to communicate data ... have a high impact on latency").
+ *
+ * The camera sweep changes the *drive* (the sensor stream itself),
+ * which the spec expresses through its RecorderConfig; the Runner's
+ * drive memo records each distinct drive once and the default drive
+ * is shared with the transport sweep.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "common.hh"
+#include "util/logging.hh"
 
 using namespace av;
-
-namespace {
-
-struct Row
-{
-    std::string label;
-    double visionMean = 0.0;
-    double imageDrops = 0.0;
-    double worstMean = 0.0;
-    double worstP99 = 0.0;
-};
-
-Row
-runOnce(const bench::BenchEnv &env, const std::string &label,
-        std::shared_ptr<const prof::DriveData> drive,
-        const prof::RunConfig &cfg)
-{
-    (void)env;
-    prof::CharacterizationRun run(drive, cfg);
-    run.execute();
-    Row row;
-    row.label = label;
-    row.visionMean =
-        run.nodeLatencySeries("vision_detection").running().mean();
-    for (const auto &d : run.drops())
-        if (d.topic == "/image_raw")
-            row.imageDrops = d.dropRate();
-    row.worstMean = run.paths().worstCaseMean();
-    row.worstP99 = run.paths().worstCaseP99();
-    return row;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::BenchEnv env(argc, argv);
 
-    util::Table table("Pipeline ablation (SSD512)",
-                      {"configuration", "vision mean (ms)",
-                       "image drops", "worst path mean",
-                       "worst path p99"});
-    const auto add = [&](const Row &row) {
-        table.addRow({row.label, util::Table::num(row.visionMean),
-                      util::Table::pct(row.imageDrops),
-                      util::Table::num(row.worstMean),
-                      util::Table::num(row.worstP99)});
-    };
+    std::vector<exp::ExperimentSpec> sweep;
 
     // Camera-rate sweep: re-record the drive at each rate (the
     // sensor stream itself changes).
     for (const long period_ms : {100, 66, 50}) {
-        world::ScenarioConfig scenario;
-        scenario.seed = static_cast<std::uint64_t>(
-            env.flags().getInt("seed", 2020));
         world::RecorderConfig recorder;
         recorder.cameraPeriod =
             static_cast<sim::Tick>(period_ms) * sim::oneMs;
-        auto drive = prof::makeDrive(scenario, env.duration(),
-                                     recorder);
-        prof::RunConfig cfg =
-            env.runConfig(perception::DetectorKind::Ssd512);
-        util::inform("camera period ", period_ms, " ms ...");
-        add(runOnce(env, "camera @ " +
-                             std::to_string(1000 / period_ms) +
-                             " Hz",
-                    drive, cfg));
+        sweep.push_back(
+            env.spec(perception::DetectorKind::Ssd512)
+                .recording(recorder)
+                .named("camera @ " +
+                       std::to_string(1000 / period_ms) + " Hz"));
     }
 
     // Transport-bandwidth sweep on the standard drive: the
     // serialize/copy cost of every message.
     for (const double gbps : {0.5, 2.0, 8.0}) {
-        prof::RunConfig cfg =
-            env.runConfig(perception::DetectorKind::Ssd512);
-        cfg.transport.bandwidthGBs = gbps;
-        util::inform("transport ", gbps, " GB/s ...");
-        add(runOnce(env,
-                    "transport " + util::Table::num(gbps, 1) +
-                        " GB/s",
-                    env.drive(), cfg));
+        exp::ExperimentSpec s =
+            env.spec(perception::DetectorKind::Ssd512)
+                .named("transport " + util::Table::num(gbps, 1) +
+                       " GB/s");
+        s.config.transport.bandwidthGBs = gbps;
+        sweep.push_back(s);
+    }
+
+    std::vector<std::size_t> jobs;
+    jobs.reserve(sweep.size());
+    for (const exp::ExperimentSpec &s : sweep)
+        jobs.push_back(env.runner().submit(s));
+
+    util::Table table("Pipeline ablation (SSD512)",
+                      {"configuration", "vision mean (ms)",
+                       "image drops", "worst path mean",
+                       "worst path p99"});
+    for (const std::size_t job : jobs) {
+        const prof::RunResult &run = env.runner().result(job);
+        const util::SampleSeries *vision =
+            run.findNodeSeries("vision_detection");
+        AV_ASSERT(vision != nullptr, "vision node missing");
+        double image_drops = 0.0;
+        for (const auto &d : run.drops)
+            if (d.topic == "/image_raw")
+                image_drops = d.dropRate();
+        table.addRow({run.label,
+                      util::Table::num(vision->running().mean()),
+                      util::Table::pct(image_drops),
+                      util::Table::num(run.worstCaseMean()),
+                      util::Table::num(run.worstCaseP99())});
     }
 
     env.print(table);

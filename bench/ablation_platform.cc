@@ -8,36 +8,39 @@
  * middleware design. These quantify DESIGN.md's claims that the
  * observed bottlenecks are software-efficiency, not capacity,
  * limits (Finding 3).
+ *
+ * The whole sweep is submitted to the Runner up front and fans out
+ * across the worker pool; every configuration shares the one
+ * recorded drive via the Runner's drive memo.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "common.hh"
+#include "util/logging.hh"
 
 using namespace av;
 
 namespace {
 
 void
-runRow(util::Table &table, const bench::BenchEnv &env,
-       const std::string &label, prof::RunConfig cfg)
+addRow(util::Table &table, const prof::RunResult &run)
 {
-    prof::CharacterizationRun run(env.drive(), cfg);
-    run.execute();
-    const auto vis =
-        run.nodeLatencySeries("vision_detection").summarize();
+    const util::SampleSeries *vision =
+        run.findNodeSeries("vision_detection");
+    AV_ASSERT(vision != nullptr, "vision node missing");
+    const auto vis = vision->summarize();
     double drop_rate = 0.0;
-    for (const auto &row : run.drops())
+    for (const auto &row : run.drops)
         if (row.topic == "/image_raw")
             drop_rate = row.dropRate();
-    table.addRow(
-        {label, util::Table::num(vis.mean),
-         util::Table::num(run.paths().worstCaseMean()),
-         util::Table::num(run.paths().worstCaseP99()),
-         util::Table::pct(drop_rate),
-         util::Table::num(run.power().cpuWatts().mean() +
-                          run.power().gpuWatts().mean())});
+    table.addRow({run.label, util::Table::num(vis.mean),
+                  util::Table::num(run.worstCaseMean()),
+                  util::Table::num(run.worstCaseP99()),
+                  util::Table::pct(drop_rate),
+                  util::Table::num(run.cpuWatts.mean() +
+                                   run.gpuWatts.mean())});
 }
 
 } // namespace
@@ -47,50 +50,59 @@ main(int argc, char **argv)
 {
     bench::BenchEnv env(argc, argv);
 
-    util::Table table(
-        "Platform ablation (SSD512 scenario)",
-        {"configuration", "vision mean (ms)", "worst path mean",
-         "worst path p99", "image drops", "total power (W)"});
+    const auto base = [&] {
+        return env.spec(perception::DetectorKind::Ssd512);
+    };
+
+    // Build the whole sweep, then fan it out.
+    std::vector<exp::ExperimentSpec> sweep;
 
     // Baseline.
-    runRow(table, env, "baseline (4 cores, 11 TFLOPS)",
-           env.runConfig(perception::DetectorKind::Ssd512));
+    sweep.push_back(base().named("baseline (4 cores, 11 TFLOPS)"));
 
     // Core-count sweep: does more CPU fix the tail?
     for (const std::uint32_t cores : {2u, 8u, 16u}) {
-        prof::RunConfig cfg =
-            env.runConfig(perception::DetectorKind::Ssd512);
-        cfg.machine.cpu.cores = cores;
-        runRow(table, env, std::to_string(cores) + " cores", cfg);
+        exp::ExperimentSpec s =
+            base().named(std::to_string(cores) + " cores");
+        s.config.machine.cpu.cores = cores;
+        sweep.push_back(s);
     }
 
     // Memory-interference strength (0 = perfect isolation).
     for (const double penalty : {0.0, 36.0}) {
-        prof::RunConfig cfg =
-            env.runConfig(perception::DetectorKind::Ssd512);
-        cfg.machine.cpu.memPenaltyCyclesPerByte = penalty;
-        runRow(table, env,
-               "mem interference x" +
-                   util::Table::num(penalty / 18.0, 1),
-               cfg);
+        exp::ExperimentSpec s = base().named(
+            "mem interference x" +
+            util::Table::num(penalty / 18.0, 1));
+        s.config.machine.cpu.memPenaltyCyclesPerByte = penalty;
+        sweep.push_back(s);
     }
 
     // GPU throughput sweep: does a bigger GPU fix SSD512?
     for (const double tflops : {5.5, 22.0}) {
-        prof::RunConfig cfg =
-            env.runConfig(perception::DetectorKind::Ssd512);
-        cfg.machine.gpu.tflops = tflops;
-        runRow(table, env,
-               util::Table::num(tflops, 1) + " TFLOPS GPU", cfg);
+        exp::ExperimentSpec s = base().named(
+            util::Table::num(tflops, 1) + " TFLOPS GPU");
+        s.config.machine.gpu.tflops = tflops;
+        sweep.push_back(s);
     }
 
     // Faster CPU clock.
     {
-        prof::RunConfig cfg =
-            env.runConfig(perception::DetectorKind::Ssd512);
-        cfg.machine.cpu.freqGhz = 5.5;
-        runRow(table, env, "5.5 GHz CPU", cfg);
+        exp::ExperimentSpec s = base().named("5.5 GHz CPU");
+        s.config.machine.cpu.freqGhz = 5.5;
+        sweep.push_back(s);
     }
+
+    std::vector<std::size_t> jobs;
+    jobs.reserve(sweep.size());
+    for (const exp::ExperimentSpec &s : sweep)
+        jobs.push_back(env.runner().submit(s));
+
+    util::Table table(
+        "Platform ablation (SSD512 scenario)",
+        {"configuration", "vision mean (ms)", "worst path mean",
+         "worst path p99", "image drops", "total power (W)"});
+    for (const std::size_t job : jobs)
+        addRow(table, env.runner().result(job));
 
     env.print(table);
 

@@ -8,53 +8,59 @@ namespace av::bench {
 
 namespace {
 
-std::vector<std::string>
-withCommon(std::vector<std::string> extra)
-{
-    extra.push_back("duration");
-    extra.push_back("seed");
-    extra.push_back("csv");
-    return extra;
-}
+const std::vector<std::string> kCommonFlags = {
+    "duration", "seed", "csv", "jobs", "cache-dir", "no-cache",
+};
 
 } // namespace
 
-BenchEnv::BenchEnv(int argc, char **argv,
-                   const std::vector<std::string> &extra_flags)
-    : flags_(argc, argv, withCommon(extra_flags))
+exp::RunnerConfig
+BenchEnv::runnerConfig(const util::Flags &flags)
+{
+    exp::RunnerConfig cfg;
+    const long jobs = flags.getInt("jobs", 0);
+    AV_ASSERT(jobs >= 0, "--jobs must be non-negative");
+    cfg.jobs = static_cast<unsigned>(jobs);
+    if (!flags.getBool("no-cache"))
+        cfg.cacheDir =
+            flags.getString("cache-dir", exp::defaultCacheDir());
+    return cfg;
+}
+
+BenchEnv::BenchEnv(int argc, char **argv)
+    : flags_(argc, argv, kCommonFlags),
+      runner_(runnerConfig(flags_))
 {
     csv_ = flags_.getBool("csv");
     const long seconds = flags_.getInt("duration", 60);
     AV_ASSERT(seconds > 0, "duration must be positive");
     duration_ = static_cast<sim::Tick>(seconds) * sim::oneSec;
-
-    world::ScenarioConfig scenario;
-    scenario.seed =
-        static_cast<std::uint64_t>(flags_.getInt("seed", 2020));
-    util::inform("recording ", seconds,
-                 " s drive (seed ", scenario.seed, ") ...");
-    drive_ = prof::makeDrive(scenario, duration_);
-    util::inform("bag: ", drive_->bag.totalMessages(),
-                 " messages, map: ", drive_->map.size(), " points");
+    seed_ = static_cast<std::uint64_t>(flags_.getInt("seed", 2020));
 }
 
-prof::RunConfig
-BenchEnv::runConfig(perception::DetectorKind kind) const
+exp::ExperimentSpec
+BenchEnv::spec() const
 {
-    prof::RunConfig cfg;
-    cfg.stack.detector = kind;
-    return cfg;
+    return exp::spec().duration(duration_).seed(seed_);
 }
 
-std::unique_ptr<prof::CharacterizationRun>
-BenchEnv::run(perception::DetectorKind kind) const
+exp::ExperimentSpec
+BenchEnv::spec(perception::DetectorKind kind) const
 {
-    util::inform("replaying with ", perception::detectorName(kind),
-                 " ...");
-    auto run = std::make_unique<prof::CharacterizationRun>(
-        drive_, runConfig(kind));
-    run->execute();
-    return run;
+    return spec().detector(kind).named(
+        perception::detectorName(kind));
+}
+
+const prof::RunResult &
+BenchEnv::run(const exp::ExperimentSpec &spec)
+{
+    return runner_.result(runner_.submit(spec));
+}
+
+const prof::RunResult &
+BenchEnv::run(perception::DetectorKind kind)
+{
+    return run(spec(kind));
 }
 
 void

@@ -1,22 +1,30 @@
 /**
  * @file
- * Shared scaffolding for the table/figure benches: common flags,
- * drive construction, per-detector runs.
+ * Shared scaffolding for the table/figure benches: common flags and
+ * the experiment Runner every bench submits its specs to.
  *
  * Every bench accepts:
  *   --duration <s>   drive length (default 60; the paper used 480)
  *   --seed <n>       scenario seed
  *   --csv            machine-readable output
+ *   --jobs <n>       worker threads (default: hardware concurrency)
+ *   --cache-dir <d>  result-cache directory (default results/cache)
+ *   --no-cache       disable the result cache
+ *
+ * Benches describe runs as ExperimentSpecs and submit them to the
+ * shared Runner — submitting everything up front and collecting
+ * afterwards fans the replays out across the worker pool, and
+ * repeated invocations of the same experiment come back from the
+ * on-disk cache without replaying at all.
  */
 
 #ifndef AVSCOPE_BENCH_COMMON_HH
 #define AVSCOPE_BENCH_COMMON_HH
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/characterization.hh"
+#include "exp/runner.hh"
 #include "util/flags.hh"
 #include "util/table.hh"
 
@@ -53,40 +61,43 @@ inline const std::vector<std::string> tab7Nodes = {
     "ray_ground_filter",
 };
 
-/** Parsed environment shared by all benches. */
+/** Parsed environment + experiment engine shared by all benches. */
 class BenchEnv
 {
   public:
-    /**
-     * Parse argv and record the drive.
-     * @param extra_flags additional accepted flag names
-     */
-    BenchEnv(int argc, char **argv,
-             const std::vector<std::string> &extra_flags = {});
+    BenchEnv(int argc, char **argv);
 
     const util::Flags &flags() const { return flags_; }
     bool csv() const { return csv_; }
     sim::Tick duration() const { return duration_; }
-    std::shared_ptr<const prof::DriveData> drive() const
-    {
-        return drive_;
-    }
+    std::uint64_t seed() const { return seed_; }
 
-    /** Default run configuration for one detector. */
-    prof::RunConfig runConfig(perception::DetectorKind kind) const;
+    /** Base spec carrying the --duration / --seed flags. */
+    exp::ExperimentSpec spec() const;
 
-    /** Run one fully-instrumented replay. */
-    std::unique_ptr<prof::CharacterizationRun>
-    run(perception::DetectorKind kind) const;
+    /** Spec for one detector, labeled with the detector's name. */
+    exp::ExperimentSpec spec(perception::DetectorKind kind) const;
+
+    /** The experiment engine; submit specs and collect results. */
+    exp::Runner &runner() { return runner_; }
+
+    /** Submit one spec and wait for its result. */
+    const prof::RunResult &run(const exp::ExperimentSpec &spec);
+
+    /** Run the default configuration of one detector. */
+    const prof::RunResult &run(perception::DetectorKind kind);
 
     /** Print a table as text or CSV per the --csv flag. */
     void print(const util::Table &table) const;
 
   private:
+    static exp::RunnerConfig runnerConfig(const util::Flags &flags);
+
     util::Flags flags_;
     bool csv_ = false;
     sim::Tick duration_ = 0;
-    std::shared_ptr<prof::DriveData> drive_;
+    std::uint64_t seed_ = 2020;
+    exp::Runner runner_;
 };
 
 } // namespace av::bench

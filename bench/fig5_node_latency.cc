@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "util/logging.hh"
 
 using namespace av;
 
@@ -20,8 +21,14 @@ main(int argc, char **argv)
 {
     bench::BenchEnv env(argc, argv);
 
-    for (const auto kind : bench::detectors) {
-        const auto run = env.run(kind);
+    // Fan the three detector replays out across the worker pool.
+    std::vector<std::size_t> jobs;
+    for (const auto kind : bench::detectors)
+        jobs.push_back(env.runner().submit(env.spec(kind)));
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto kind = bench::detectors[i];
+        const prof::RunResult &run = env.runner().result(jobs[i]);
 
         util::Table table(
             std::string("Fig. 5 — single-node latency (ms), with ") +
@@ -29,9 +36,11 @@ main(int argc, char **argv)
             {"node", "n", "min", "q1", "mean", "q3", "p99", "max",
              "distribution"});
         for (const std::string &node : bench::fig5Nodes) {
-            const util::SampleSeries &series =
-                run->nodeLatencySeries(node);
-            const util::DistributionSummary s = series.summarize();
+            const util::SampleSeries *series =
+                run.findNodeSeries(node);
+            AV_ASSERT(series != nullptr, "missing node ", node);
+            const util::DistributionSummary s =
+                series->summarize();
             table.addRow({node, std::to_string(s.count),
                           util::Table::num(s.min),
                           util::Table::num(s.q1),
@@ -40,7 +49,7 @@ main(int argc, char **argv)
                           util::Table::num(s.p99),
                           util::Table::num(s.max),
                           util::sketchDistribution(
-                              series.histogram(32), 32)});
+                              series->histogram(32), 32)});
         }
         env.print(table);
     }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "util/logging.hh"
 
 using namespace av;
 
@@ -44,8 +45,13 @@ main(int argc, char **argv)
         desc.addRow({prof::pathName(path), description});
     env.print(desc);
 
-    for (const auto kind : bench::detectors) {
-        const auto run = env.run(kind);
+    std::vector<std::size_t> jobs;
+    for (const auto kind : bench::detectors)
+        jobs.push_back(env.runner().submit(env.spec(kind)));
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto kind = bench::detectors[i];
+        const prof::RunResult &run = env.runner().result(jobs[i]);
         util::Table table(
             std::string(
                 "Fig. 6 — end-to-end path latency (ms), with ") +
@@ -54,7 +60,10 @@ main(int argc, char **argv)
         std::string worst_path;
         double worst_mean = -1.0;
         for (const auto &[path, description] : pathRows) {
-            const auto s = run->paths().series(path).summarize();
+            const util::SampleSeries *series =
+                run.findPathSeries(path);
+            AV_ASSERT(series != nullptr, "untraced path");
+            const auto s = series->summarize();
             table.addRow({prof::pathName(path),
                           std::to_string(s.count),
                           util::Table::num(s.min),
@@ -72,8 +81,8 @@ main(int argc, char **argv)
         std::printf("end-to-end latency (worst path): %s, mean "
                     "%.1f ms, p99 %.1f ms -> %s the 100 ms budget\n\n",
                     worst_path.c_str(), worst_mean,
-                    run->paths().worstCaseP99(),
-                    run->paths().worstCaseP99() > 100.0
+                    run.worstCaseP99(),
+                    run.worstCaseP99() > 100.0
                         ? "EXCEEDS"
                         : "meets");
     }

@@ -16,12 +16,13 @@ int
 main(int argc, char **argv)
 {
     bench::BenchEnv env(argc, argv);
-    const auto run = env.run(perception::DetectorKind::Ssd512);
+    const prof::RunResult &run =
+        env.run(perception::DetectorKind::Ssd512);
 
     util::Table table("Fig. 7 — instruction mix (SSD512 scenario)",
                       {"node", "loads", "stores", "branches", "int",
                        "fp", "simd", "other", "ld+st"});
-    for (const auto &row : run->counters()) {
+    for (const auto &row : run.counters) {
         bool wanted = false;
         for (const auto &name : bench::tab7Nodes)
             wanted |= row.node == name;

@@ -4,13 +4,15 @@
  * (a) the CPU vs GPU share of the detector's processing time, and
  * (b) mean latency and standard deviation when the detector runs
  * standalone versus alongside the full stack — the isolated-vs-full
- * comparison behind Findings 4 and 5.
+ * comparison behind Findings 4 and 5. All four replays (2 detectors
+ * x {full, isolated}) fan out across the Runner's worker pool.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "common.hh"
+#include "util/logging.hh"
 
 using namespace av;
 
@@ -19,6 +21,19 @@ main(int argc, char **argv)
 {
     bench::BenchEnv env(argc, argv);
 
+    const std::vector<perception::DetectorKind> kinds = {
+        perception::DetectorKind::Ssd512,
+        perception::DetectorKind::Yolov3,
+    };
+    std::vector<std::size_t> full_jobs, iso_jobs;
+    for (const auto kind : kinds) {
+        full_jobs.push_back(env.runner().submit(env.spec(kind)));
+        iso_jobs.push_back(env.runner().submit(
+            env.spec(kind).isolatedVision().named(
+                std::string(perception::detectorName(kind)) +
+                " isolated")));
+    }
+
     util::Table split("Fig. 8 — CPU/GPU share of detector time",
                       {"detector", "cpu ms/frame", "gpu ms/frame",
                        "gpu share"});
@@ -26,44 +41,31 @@ main(int argc, char **argv)
         "Fig. 8 — isolated vs full-system detector latency",
         {"detector", "mode", "mean (ms)", "stddev (ms)", "frames"});
 
-    for (const auto kind : {perception::DetectorKind::Ssd512,
-                            perception::DetectorKind::Yolov3}) {
-        // Full stack.
-        const auto full = env.run(kind);
-        const auto full_sum =
-            full->nodeLatencySeries("vision_detection").summarize();
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const auto kind = kinds[i];
+        const prof::RunResult &full =
+            env.runner().result(full_jobs[i]);
+        const prof::RunResult &alone =
+            env.runner().result(iso_jobs[i]);
 
-        const auto &macct = full->machine().cpu().accounting();
-        const auto &gacct = full->machine().gpu().accounting();
-        const double frames =
-            static_cast<double>(full_sum.count);
+        const util::SampleSeries *full_series =
+            full.findNodeSeries("vision_detection");
+        const util::SampleSeries *alone_series =
+            alone.findNodeSeries("vision_detection");
+        AV_ASSERT(full_series && alone_series,
+                  "vision node missing");
+        const auto full_sum = full_series->summarize();
+        const auto alone_sum = alone_series->summarize();
+
+        const double frames = static_cast<double>(full_sum.count);
         const double cpu_ms =
-            macct.busySecondsByOwner.count("vision_detection")
-                ? macct.busySecondsByOwner.at("vision_detection") *
-                      1e3 / frames
-                : 0.0;
+            full.cpuSecondsOf("vision_detection") * 1e3 / frames;
         const double gpu_ms =
-            gacct.activeSecondsByOwner.count("vision_detection")
-                ? gacct.activeSecondsByOwner.at("vision_detection") *
-                      1e3 / frames
-                : 0.0;
+            full.gpuSecondsOf("vision_detection") * 1e3 / frames;
         split.addRow({perception::detectorName(kind),
                       util::Table::num(cpu_ms),
                       util::Table::num(gpu_ms),
                       util::Table::pct(gpu_ms / (cpu_ms + gpu_ms))});
-
-        // Isolated: detector alone against the same bag.
-        prof::RunConfig cfg = env.runConfig(kind);
-        cfg.stack.enableLocalization = false;
-        cfg.stack.enableLidarDetection = false;
-        cfg.stack.enableTracking = false;
-        cfg.stack.enableCostmap = false;
-        util::inform("replaying isolated ",
-                     perception::detectorName(kind), " ...");
-        prof::CharacterizationRun alone(env.drive(), cfg);
-        alone.execute();
-        const auto alone_sum =
-            alone.nodeLatencySeries("vision_detection").summarize();
 
         iso.addRow({perception::detectorName(kind), "isolated",
                     util::Table::num(alone_sum.mean),

@@ -11,6 +11,11 @@
  *  4. Isolated single-node profiling underestimates mean latency.
  *  5. Isolated profiling underestimates latency variability
  *     (standard deviation grows several-fold in the full system).
+ *
+ * All four replays (full SSD512/YOLO + isolated SSD512/YOLO) are
+ * submitted to the Runner up front, so they execute concurrently;
+ * the report renders from the results in a fixed order, which keeps
+ * the output byte-identical for any worker count.
  */
 
 #include "findings.hh"
@@ -19,6 +24,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+
+#include "util/logging.hh"
 
 namespace av::bench {
 
@@ -36,10 +43,19 @@ put(std::ostream &os, const char *fmt, ...)
     os << buf;
 }
 
+/** Node latency series that must exist, by contract of the spec. */
+const util::SampleSeries &
+series(const prof::RunResult &run, const std::string &node)
+{
+    const util::SampleSeries *found = run.findNodeSeries(node);
+    AV_ASSERT(found != nullptr, "missing node ", node);
+    return *found;
+}
+
 } // namespace
 
 int
-runFindingsSummary(const BenchEnv &env, std::ostream &os)
+runFindingsSummary(BenchEnv &env, std::ostream &os)
 {
     int passed = 0, total = 0;
     const auto verdict = [&](bool ok, const std::string &text) {
@@ -48,8 +64,22 @@ runFindingsSummary(const BenchEnv &env, std::ostream &os)
         put(os, "  [%s] %s\n", ok ? "PASS" : "FAIL", text.c_str());
     };
 
-    const auto ssd512 = env.run(perception::DetectorKind::Ssd512);
-    const auto yolo = env.run(perception::DetectorKind::Yolov3);
+    exp::Runner &runner = env.runner();
+    const std::size_t ssd_job = runner.submit(
+        env.spec(perception::DetectorKind::Ssd512));
+    const std::size_t yolo_job = runner.submit(
+        env.spec(perception::DetectorKind::Yolov3));
+    const std::size_t ssd_iso_job = runner.submit(
+        env.spec(perception::DetectorKind::Ssd512)
+            .isolatedVision()
+            .named("SSD512 isolated"));
+    const std::size_t yolo_iso_job = runner.submit(
+        env.spec(perception::DetectorKind::Yolov3)
+            .isolatedVision()
+            .named("YOLOv3 isolated"));
+
+    const prof::RunResult &ssd512 = runner.result(ssd_job);
+    const prof::RunResult &yolo = runner.result(yolo_job);
 
     // Finding 1: tail latency of non-vision nodes varies with the
     // detector choice (pure cross-node contention).
@@ -58,10 +88,8 @@ runFindingsSummary(const BenchEnv &env, std::ostream &os)
     for (const std::string node :
          {"voxel_grid_filter", "ndt_matching", "ray_ground_filter",
           "costmap_generator_obj"}) {
-        const double heavy =
-            ssd512->nodeLatencySeries(node).quantile(0.99);
-        const double light =
-            yolo->nodeLatencySeries(node).quantile(0.99);
+        const double heavy = series(ssd512, node).quantile(0.99);
+        const double light = series(yolo, node).quantile(0.99);
         const double inflation =
             light > 0.0 ? 100.0 * (heavy / light - 1.0) : 0.0;
         max_inflation = std::max(max_inflation, inflation);
@@ -76,13 +104,13 @@ runFindingsSummary(const BenchEnv &env, std::ostream &os)
 
     // Finding 2: end-to-end latency breaks the 100 ms budget.
     put(os, "\nFinding 2 — end-to-end latency vs 100 ms\n");
-    const double worst512 = ssd512->paths().worstCaseMax();
-    const double worst_yolo = yolo->paths().worstCaseMax();
+    const double worst512 = ssd512.worstCaseMax();
+    const double worst_yolo = yolo.worstCaseMax();
     put(os,
         "  worst-path p99: %.1f ms (SSD512), %.1f ms"
         " (YOLO); worst case: %.1f / %.1f ms\n",
-        ssd512->paths().worstCaseP99(),
-        yolo->paths().worstCaseP99(), worst512, worst_yolo);
+        ssd512.worstCaseP99(), yolo.worstCaseP99(), worst512,
+        worst_yolo);
     verdict(worst512 > 200.0 && worst_yolo > 180.0,
             "worst-case end-to-end latency reaches ~2x the 100 ms"
             " budget for every detector (>200 ms with SSD512;"
@@ -90,10 +118,8 @@ runFindingsSummary(const BenchEnv &env, std::ostream &os)
 
     // Finding 3: utilization low.
     put(os, "\nFinding 3 — resource utilization\n");
-    const double cpu_util =
-        ssd512->utilization().totalCpu().mean();
-    const double gpu_util =
-        ssd512->utilization().totalGpu().mean();
+    const double cpu_util = ssd512.totalCpu.mean();
+    const double gpu_util = ssd512.totalGpu.mean();
     put(os,
         "  mean utilization with SSD512: CPU %.1f%%, GPU "
         "%.1f%%\n",
@@ -105,22 +131,21 @@ runFindingsSummary(const BenchEnv &env, std::ostream &os)
     // Findings 4 & 5: isolated vs full detector statistics.
     put(os, "\nFindings 4 & 5 — isolated vs full system\n");
     bool mean_up = true, std_up = true;
-    for (const auto kind : {perception::DetectorKind::Ssd512,
-                            perception::DetectorKind::Yolov3}) {
-        prof::RunConfig cfg = env.runConfig(kind);
-        cfg.stack.enableLocalization = false;
-        cfg.stack.enableLidarDetection = false;
-        cfg.stack.enableTracking = false;
-        cfg.stack.enableCostmap = false;
-        prof::CharacterizationRun alone(env.drive(), cfg);
-        alone.execute();
+    const std::vector<
+        std::pair<perception::DetectorKind, std::size_t>>
+        iso_jobs = {
+            {perception::DetectorKind::Ssd512, ssd_iso_job},
+            {perception::DetectorKind::Yolov3, yolo_iso_job},
+        };
+    for (const auto &[kind, job] : iso_jobs) {
+        const prof::RunResult &alone = runner.result(job);
         const auto a =
-            alone.nodeLatencySeries("vision_detection").summarize();
-        const auto f = (kind == perception::DetectorKind::Ssd512
-                            ? ssd512
-                            : yolo)
-                           ->nodeLatencySeries("vision_detection")
-                           .summarize();
+            series(alone, "vision_detection").summarize();
+        const auto f =
+            series(kind == perception::DetectorKind::Ssd512 ? ssd512
+                                                            : yolo,
+                   "vision_detection")
+                .summarize();
         put(os,
             "  %-8s mean %6.2f -> %6.2f ms (%+.0f%%), "
             "stddev %5.2f -> %5.2f ms (x%.1f)\n",

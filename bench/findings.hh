@@ -18,11 +18,12 @@
 namespace av::bench {
 
 /**
- * Render the paper's five-findings check into @p os.
+ * Render the paper's five-findings check into @p os, running the
+ * required replays through @p env's Runner (hence the mutable env).
  * @return the number of findings that failed to reproduce (0 = all
  *         five reproduced).
  */
-int runFindingsSummary(const BenchEnv &env, std::ostream &os);
+int runFindingsSummary(BenchEnv &env, std::ostream &os);
 
 } // namespace av::bench
 

@@ -18,14 +18,19 @@ main(int argc, char **argv)
 {
     bench::BenchEnv env(argc, argv);
 
-    for (const auto kind : bench::detectors) {
-        const auto run = env.run(kind);
+    std::vector<std::size_t> jobs;
+    for (const auto kind : bench::detectors)
+        jobs.push_back(env.runner().submit(env.spec(kind)));
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto kind = bench::detectors[i];
+        const prof::RunResult &run = env.runner().result(jobs[i]);
         util::Table table(
             std::string("Table III — dropped messages, with ") +
                 perception::detectorName(kind),
             {"topic", "subscribed by", "delivered", "dropped",
              "drop rate"});
-        for (const auto &row : run->drops()) {
+        for (const auto &row : run.drops) {
             if (row.delivered == 0)
                 continue;
             // The paper's table lists topics with at least one drop

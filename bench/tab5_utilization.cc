@@ -26,15 +26,19 @@ main(int argc, char **argv)
         rows;
     std::map<std::string, std::pair<double, double>> totals;
 
-    for (const auto kind : bench::detectors) {
-        const auto run = env.run(kind);
-        const std::string which = perception::detectorName(kind);
-        for (const auto &[owner, row] : run->utilization().rows()) {
-            rows[owner][which] = {row.cpuShare.mean(),
-                                  row.gpuShare.mean()};
+    std::vector<std::size_t> jobs;
+    for (const auto kind : bench::detectors)
+        jobs.push_back(env.runner().submit(env.spec(kind)));
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const prof::RunResult &run = env.runner().result(jobs[i]);
+        const std::string which =
+            perception::detectorName(bench::detectors[i]);
+        for (const auto &row : run.utilization) {
+            rows[row.owner][which] = {row.cpuShare.mean(),
+                                      row.gpuShare.mean()};
         }
-        totals[which] = {run->utilization().totalCpu().mean(),
-                         run->utilization().totalGpu().mean()};
+        totals[which] = {run.totalCpu.mean(), run.totalGpu.mean()};
     }
 
     util::Table table(

@@ -21,10 +21,14 @@ main(int argc, char **argv)
                       {"detector", "CPU (W)", "GPU (W)", "total (W)",
                        "CPU energy (J)", "GPU energy (J)"});
     double total_ssd512 = 0.0, total_ssd300 = 0.0;
-    for (const auto kind : bench::detectors) {
-        const auto run = env.run(kind);
-        const double cpu = run->power().cpuWatts().mean();
-        const double gpu = run->power().gpuWatts().mean();
+    std::vector<std::size_t> jobs;
+    for (const auto kind : bench::detectors)
+        jobs.push_back(env.runner().submit(env.spec(kind)));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto kind = bench::detectors[i];
+        const prof::RunResult &run = env.runner().result(jobs[i]);
+        const double cpu = run.cpuWatts.mean();
+        const double gpu = run.gpuWatts.mean();
         if (kind == perception::DetectorKind::Ssd512)
             total_ssd512 = cpu + gpu;
         if (kind == perception::DetectorKind::Ssd300)
@@ -32,9 +36,8 @@ main(int argc, char **argv)
         table.addRow({perception::detectorName(kind),
                       util::Table::num(cpu), util::Table::num(gpu),
                       util::Table::num(cpu + gpu),
-                      util::Table::num(run->power().cpuEnergyJ(), 0),
-                      util::Table::num(run->power().gpuEnergyJ(),
-                                       0)});
+                      util::Table::num(run.cpuEnergyJ, 0),
+                      util::Table::num(run.gpuEnergyJ, 0)});
     }
     env.print(table);
 

@@ -16,10 +16,10 @@ using namespace av;
 namespace {
 
 void
-addRows(util::Table &table, const prof::CharacterizationRun &run,
+addRows(util::Table &table, const prof::RunResult &run,
         const char *suffix, bool vision_only)
 {
-    for (const auto &row : run.counters()) {
+    for (const auto &row : run.counters) {
         bool wanted = false;
         for (const auto &name : bench::tab7Nodes)
             wanted |= row.node == name;
@@ -51,12 +51,17 @@ main(int argc, char **argv)
                        "L1 miss (write)", "branch mispredict"});
 
     // The vision rows come from their own runs; the other nodes from
-    // the SSD512 run (the paper's default scenario).
-    const auto ssd = env.run(perception::DetectorKind::Ssd512);
-    addRows(table, *ssd, " (SSD512)", true);
-    const auto yolo = env.run(perception::DetectorKind::Yolov3);
-    addRows(table, *yolo, " (YOLOv3)", true);
-    addRows(table, *ssd, "", false);
+    // the SSD512 run (the paper's default scenario). Both replays
+    // run concurrently.
+    const std::size_t ssd_job = env.runner().submit(
+        env.spec(perception::DetectorKind::Ssd512));
+    const std::size_t yolo_job = env.runner().submit(
+        env.spec(perception::DetectorKind::Yolov3));
+    const prof::RunResult &ssd = env.runner().result(ssd_job);
+    const prof::RunResult &yolo = env.runner().result(yolo_job);
+    addRows(table, ssd, " (SSD512)", true);
+    addRows(table, yolo, " (YOLOv3)", true);
+    addRows(table, ssd, "", false);
 
     env.print(table);
 

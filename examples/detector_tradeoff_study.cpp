@@ -17,6 +17,7 @@
 
 #include "core/characterization.hh"
 #include "util/flags.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace av;
@@ -64,8 +65,10 @@ main(int argc, char **argv)
 
         run.execute();
 
-        const auto vis =
-            run.nodeLatencySeries("vision_detection").summarize();
+        const util::SampleSeries *vision =
+            run.findNodeLatencySeries("vision_detection");
+        AV_ASSERT(vision != nullptr, "vision node missing");
+        const auto vis = vision->summarize();
         double drops = 0.0;
         for (const auto &row : run.drops())
             if (row.topic == "/image_raw")

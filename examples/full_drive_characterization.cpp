@@ -1,9 +1,12 @@
 /**
  * @file
- * The paper's complete methodology (Fig. 3) as one program: record a
- * drive once, then characterize the stack under a chosen detector —
- * per-node latency, end-to-end paths, drops, utilization, power, and
- * PAPI-style counters — and print a full report.
+ * The paper's complete methodology (Fig. 3) as one program, driven
+ * through the experiment engine: describe the run as an
+ * ExperimentSpec, submit it to a Runner, and print the full report
+ * from the returned RunResult — per-node latency, end-to-end paths,
+ * drops, utilization, power, and PAPI-style counters. Repeated
+ * invocations with the same parameters come back from the result
+ * cache without recording or replaying anything.
  *
  *   ./full_drive_characterization --detector ssd512 --duration 120
  */
@@ -11,8 +14,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/characterization.hh"
 #include "core/report.hh"
+#include "exp/runner.hh"
 #include "util/flags.hh"
 #include "util/table.hh"
 
@@ -21,8 +24,9 @@ using namespace av;
 int
 main(int argc, char **argv)
 {
-    const util::Flags flags(
-        argc, argv, {"detector", "duration", "seed", "csv", "report"});
+    const util::Flags flags(argc, argv,
+                            {"detector", "duration", "seed", "csv",
+                             "report", "no-cache"});
     const std::string which = flags.getString("detector", "ssd512");
     perception::DetectorKind kind = perception::DetectorKind::Ssd512;
     if (which == "ssd300")
@@ -33,22 +37,18 @@ main(int argc, char **argv)
         util::fatal("unknown detector '", which,
                     "' (ssd512|ssd300|yolo)");
 
-    world::ScenarioConfig scenario;
-    scenario.seed =
-        static_cast<std::uint64_t>(flags.getInt("seed", 2020));
-    const auto duration = static_cast<sim::Tick>(
-                              flags.getInt("duration", 60)) *
-                          sim::oneSec;
+    exp::RunnerConfig engine;
+    if (!flags.getBool("no-cache"))
+        engine.cacheDir = exp::defaultCacheDir();
+    exp::Runner runner(engine);
 
-    util::inform("recording drive + building map ...");
-    auto drive = prof::makeDrive(scenario, duration);
-
-    prof::RunConfig config;
-    config.stack.detector = kind;
-    util::inform("replaying with ", perception::detectorName(kind),
-                 " ...");
-    prof::CharacterizationRun run(drive, config);
-    run.execute();
+    const prof::RunResult &run = runner.result(runner.submit(
+        exp::spec()
+            .detector(kind)
+            .durationSeconds(flags.getInt("duration", 60))
+            .seed(static_cast<std::uint64_t>(
+                flags.getInt("seed", 2020)))
+            .named(perception::detectorName(kind))));
 
     // ------------------------------------------------ latency
     util::Table latency("Single-node latency (ms)",
@@ -69,13 +69,9 @@ main(int argc, char **argv)
     // ------------------------------------------------ paths
     util::Table paths("\nEnd-to-end computation paths (ms)",
                       {"path", "mean", "p99", "max"});
-    for (const auto path :
-         {prof::Path::Localization, prof::Path::CostmapPoints,
-          prof::Path::CostmapVisionObj,
-          prof::Path::CostmapClusterObj}) {
-        const auto s = run.paths().series(path).summarize();
-        paths.addRow({prof::pathName(path),
-                      util::Table::num(s.mean),
+    for (const auto &row : run.paths) {
+        const auto s = row.series.summarize();
+        paths.addRow({row.name, util::Table::num(s.mean),
                       util::Table::num(s.p99),
                       util::Table::num(s.max)});
     }
@@ -84,7 +80,7 @@ main(int argc, char **argv)
     // ------------------------------------------------ drops
     util::Table drops("\nDropped messages", {"topic", "node",
                                              "drop rate"});
-    for (const auto &row : run.drops()) {
+    for (const auto &row : run.drops) {
         if (row.dropped == 0)
             continue;
         drops.addRow({row.topic, row.node,
@@ -95,28 +91,26 @@ main(int argc, char **argv)
     // ------------------------------------------------ utilization
     util::Table util_table("\nUtilization (1 Hz sampling)",
                            {"owner", "CPU share", "GPU residency"});
-    for (const auto &[owner, row] : run.utilization().rows()) {
-        util_table.addRow({owner,
+    for (const auto &row : run.utilization) {
+        util_table.addRow({row.owner,
                            util::Table::pct(row.cpuShare.mean()),
                            util::Table::pct(row.gpuShare.mean())});
     }
-    util_table.addRow(
-        {"TOTAL",
-         util::Table::pct(run.utilization().totalCpu().mean()),
-         util::Table::pct(run.utilization().totalGpu().mean())});
+    util_table.addRow({"TOTAL",
+                       util::Table::pct(run.totalCpu.mean()),
+                       util::Table::pct(run.totalGpu.mean())});
     util_table.print(std::cout);
 
     std::printf("\npower: CPU %.1f W, GPU %.1f W (energy %.0f J + "
                 "%.0f J)\n",
-                run.power().cpuWatts().mean(),
-                run.power().gpuWatts().mean(),
-                run.power().cpuEnergyJ(), run.power().gpuEnergyJ());
+                run.cpuWatts.mean(), run.gpuWatts.mean(),
+                run.cpuEnergyJ, run.gpuEnergyJ);
 
     // ------------------------------------------------ counters
     util::Table counters("\nMicroarchitecture counters",
                          {"node", "IPC", "L1r miss", "L1w miss",
                           "br miss", "mix"});
-    for (const auto &row : run.counters()) {
+    for (const auto &row : run.counters) {
         if (row.mix.total() == 0)
             continue;
         counters.addRow({row.node, util::Table::num(row.ipc),

@@ -4,8 +4,11 @@
 #   1. tier-1 verify: default configure + build + ctest
 #   2. avlint over the whole tree
 #   3. rebuild + ctest under AddressSanitizer + UBSan
+#   4. rebuild + ctest under ThreadSanitizer (the Runner's worker
+#      pool and result cache run real threads; TSan proves the
+#      isolation contract DESIGN.md §10 describes)
 #
-# Usage: scripts/check.sh [build-dir] [asan-build-dir]
+# Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 # Exit code is non-zero if any stage fails.
 
 set -euo pipefail
@@ -13,6 +16,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 ASAN_BUILD="${2:-$ROOT/build-asan}"
+TSAN_BUILD="${3:-$ROOT/build-tsan}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -37,5 +41,14 @@ step "sanitizers: ctest (ASan + UBSan, halt on any report)"
 ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
+
+step "sanitizers: configure + build ($TSAN_BUILD)"
+cmake -B "$TSAN_BUILD" -S "$ROOT" \
+    -DAVSCOPE_SANITIZE="thread"
+cmake --build "$TSAN_BUILD" -j "$JOBS"
+
+step "sanitizers: ctest (TSan, halt on any report)"
+TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS"
 
 step "all checks passed"

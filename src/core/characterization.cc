@@ -110,19 +110,18 @@ CharacterizationRun::nodeLatencies() const
     return out;
 }
 
-const util::SampleSeries &
-CharacterizationRun::nodeLatencySeries(const std::string &name) const
+const util::SampleSeries *
+CharacterizationRun::findNodeLatencySeries(
+    const std::string &name) const
 {
-    if (name == "costmap_generator_obj") {
-        return stack_->costmap()->latencySeries();
-    }
-    if (name == "costmap_generator_points") {
-        return stack_->costmap()->pointsLatencySeries();
-    }
+    const perception::CostmapGeneratorNode *costmap =
+        stack_->costmap();
+    if (name == "costmap_generator_obj")
+        return costmap ? &costmap->latencySeries() : nullptr;
+    if (name == "costmap_generator_points")
+        return costmap ? &costmap->pointsLatencySeries() : nullptr;
     const perception::PerceptionNode *node = stack_->find(name);
-    if (!node)
-        util::panic("unknown node: ", name);
-    return node->latencySeries();
+    return node ? &node->latencySeries() : nullptr;
 }
 
 } // namespace av::prof

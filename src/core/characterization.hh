@@ -83,8 +83,19 @@ class CharacterizationRun
     const PathTracer &paths() const { return *tracer_; }
     const UtilizationMonitor &utilization() const { return *util_; }
     const PowerMonitor &power() const { return *power_; }
+
+    /**
+     * The machine / middleware under test. The mutable overloads
+     * exist for pre-execute() customization (taps, fault injection);
+     * every consumer of a *finished* run reads through the const
+     * path, which is what lets the experiment Runner hand completed
+     * runs out as const references.
+     */
+    const hw::Machine &machine() const { return *machine_; }
     hw::Machine &machine() { return *machine_; }
+    const ros::RosGraph &graph() const { return *graph_; }
     ros::RosGraph &graph() { return *graph_; }
+
     const RunConfig &config() const { return config_; }
 
     std::vector<DropRow> drops() const;
@@ -97,9 +108,15 @@ class CharacterizationRun
      */
     std::vector<NodeLatency> nodeLatencies() const;
 
-    /** Latency series of one node (panics when unknown). */
-    const util::SampleSeries &
-    nodeLatencySeries(const std::string &name) const;
+    /**
+     * Latency series of one node; nullptr when the node is unknown
+     * or its stack section is disabled. Mirrors
+     * AutowareStack::find() — lookups across src/core report
+     * absence through their return value, never by aborting, so
+     * callers choose between handling and asserting.
+     */
+    const util::SampleSeries *
+    findNodeLatencySeries(const std::string &name) const;
 
   private:
     std::shared_ptr<const DriveData> drive_;

@@ -24,8 +24,7 @@ emit(const util::Table &table, const std::filesystem::path &dir,
 } // namespace
 
 bool
-writeRunReport(const CharacterizationRun &run,
-               const std::string &directory)
+writeRunReport(const RunResult &run, const std::string &directory)
 {
     const std::filesystem::path dir(directory);
     std::error_code ec;
@@ -54,11 +53,9 @@ writeRunReport(const CharacterizationRun &run,
     // ---- end-to-end paths (Fig. 6) -------------------------------
     Table paths("", {"path", "count", "min_ms", "q1_ms", "mean_ms",
                      "q3_ms", "p99_ms", "max_ms"});
-    for (const Path path :
-         {Path::Localization, Path::CostmapPoints,
-          Path::CostmapVisionObj, Path::CostmapClusterObj}) {
-        const auto s = run.paths().series(path).summarize();
-        paths.addRow({pathName(path), std::to_string(s.count),
+    for (const NamedSeries &row : run.paths) {
+        const auto s = row.series.summarize();
+        paths.addRow({row.name, std::to_string(s.count),
                       Table::num(s.min, 4), Table::num(s.q1, 4),
                       Table::num(s.mean, 4), Table::num(s.q3, 4),
                       Table::num(s.p99, 4), Table::num(s.max, 4)});
@@ -69,7 +66,7 @@ writeRunReport(const CharacterizationRun &run,
     // ---- drops (Table III) ---------------------------------------
     Table drops("", {"topic", "node", "delivered", "dropped",
                      "drop_rate"});
-    for (const DropRow &row : run.drops()) {
+    for (const DropRow &row : run.drops) {
         drops.addRow({row.topic, row.node,
                       std::to_string(row.delivered),
                       std::to_string(row.dropped),
@@ -80,28 +77,27 @@ writeRunReport(const CharacterizationRun &run,
 
     // ---- utilization (Table V) -----------------------------------
     Table util_table("", {"owner", "cpu_share", "gpu_residency"});
-    for (const auto &[owner, row] : run.utilization().rows()) {
-        util_table.addRow({owner,
+    for (const UtilizationResult &row : run.utilization) {
+        util_table.addRow({row.owner,
                            Table::num(row.cpuShare.mean(), 6),
                            Table::num(row.gpuShare.mean(), 6)});
     }
-    util_table.addRow(
-        {"TOTAL", Table::num(run.utilization().totalCpu().mean(), 6),
-         Table::num(run.utilization().totalGpu().mean(), 6)});
+    util_table.addRow({"TOTAL", Table::num(run.totalCpu.mean(), 6),
+                       Table::num(run.totalGpu.mean(), 6)});
     if (!emit(util_table, dir, "utilization.csv"))
         return false;
 
     // ---- power (Table VI) ----------------------------------------
     Table power("", {"device", "mean_w", "min_w", "max_w",
                      "energy_j"});
-    power.addRow({"cpu", Table::num(run.power().cpuWatts().mean(), 3),
-                  Table::num(run.power().cpuWatts().min(), 3),
-                  Table::num(run.power().cpuWatts().max(), 3),
-                  Table::num(run.power().cpuEnergyJ(), 1)});
-    power.addRow({"gpu", Table::num(run.power().gpuWatts().mean(), 3),
-                  Table::num(run.power().gpuWatts().min(), 3),
-                  Table::num(run.power().gpuWatts().max(), 3),
-                  Table::num(run.power().gpuEnergyJ(), 1)});
+    power.addRow({"cpu", Table::num(run.cpuWatts.mean(), 3),
+                  Table::num(run.cpuWatts.min(), 3),
+                  Table::num(run.cpuWatts.max(), 3),
+                  Table::num(run.cpuEnergyJ, 1)});
+    power.addRow({"gpu", Table::num(run.gpuWatts.mean(), 3),
+                  Table::num(run.gpuWatts.min(), 3),
+                  Table::num(run.gpuWatts.max(), 3),
+                  Table::num(run.gpuEnergyJ, 1)});
     if (!emit(power, dir, "power.csv"))
         return false;
 
@@ -110,7 +106,7 @@ writeRunReport(const CharacterizationRun &run,
                         "l1_write_miss", "branch_miss", "loads",
                         "stores", "branches", "int", "fp", "div",
                         "simd", "other"});
-    for (const CounterRow &row : run.counters()) {
+    for (const CounterRow &row : run.counters) {
         counters.addRow({row.node, Table::num(row.ipc, 4),
                          Table::num(row.l1ReadMissRate, 6),
                          Table::num(row.l1WriteMissRate, 6),
@@ -125,6 +121,13 @@ writeRunReport(const CharacterizationRun &run,
                          std::to_string(row.mix.other)});
     }
     return emit(counters, dir, "counters.csv");
+}
+
+bool
+writeRunReport(const CharacterizationRun &run,
+               const std::string &directory)
+{
+    return writeRunReport(snapshotRun(run), directory);
 }
 
 } // namespace av::prof

@@ -10,12 +10,12 @@
 
 #include <string>
 
-#include "core/characterization.hh"
+#include "core/run_result.hh"
 
 namespace av::prof {
 
 /**
- * Write the run's measurements into @p directory (created if
+ * Write the result's measurements into @p directory (created if
  * needed):
  *
  *   node_latency.csv   — per-node distribution summaries (Fig. 5)
@@ -29,6 +29,10 @@ namespace av::prof {
  * @return false when the directory cannot be created or a file
  *         cannot be written
  */
+bool writeRunReport(const RunResult &result,
+                    const std::string &directory);
+
+/** Snapshot a live run and write its report. */
 bool writeRunReport(const CharacterizationRun &run,
                     const std::string &directory);
 

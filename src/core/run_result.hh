@@ -1,0 +1,111 @@
+/**
+ * @file
+ * RunResult — the complete measurement record of one finished
+ * characterization run, detached from the live simulation objects.
+ *
+ * CharacterizationRun owns an EventQueue, a Machine and a node
+ * graph; everything a bench or report consumes afterwards is *data*.
+ * RunResult snapshots that data into one self-contained value that
+ * can be copied between threads, serialized into the result cache
+ * (src/exp) and reloaded byte-identically — the unit of work the
+ * experiment Runner returns.
+ */
+
+#ifndef AVSCOPE_CORE_RUN_RESULT_HH
+#define AVSCOPE_CORE_RUN_RESULT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/characterization.hh"
+
+namespace av::prof {
+
+/** One named latency distribution (a Fig. 5 row). */
+struct NamedSeries
+{
+    std::string name;
+    util::SampleSeries series;
+};
+
+/** One owner's utilization statistics (a Table V row). */
+struct UtilizationResult
+{
+    std::string owner;
+    util::RunningStats cpuShare;
+    util::RunningStats gpuShare;
+};
+
+/**
+ * Everything the benches, examples and report writer read from a
+ * completed run. Plain data: copyable, serializable, immutable by
+ * convention once produced.
+ */
+struct RunResult
+{
+    std::string label;
+
+    /** Per-node latency, costmap callbacks split (Fig. 5 order). */
+    std::vector<NamedSeries> nodes;
+
+    /** End-to-end latency per computation path (Fig. 6). */
+    std::vector<NamedSeries> paths;
+
+    std::vector<DropRow> drops;           ///< Table III
+    std::vector<CounterRow> counters;     ///< Table VII / Fig. 7
+    std::vector<UtilizationResult> utilization; ///< Table V
+    util::RunningStats totalCpu;          ///< machine-wide CPU share
+    util::RunningStats totalGpu;          ///< machine-wide GPU share
+    util::RunningStats cpuWatts;          ///< Table VI
+    util::RunningStats gpuWatts;
+    double cpuEnergyJ = 0.0;
+    double gpuEnergyJ = 0.0;
+
+    /** Per-owner device busy seconds (the Fig. 8 CPU/GPU split). */
+    std::vector<std::pair<std::string, double>> cpuSecondsByOwner;
+    std::vector<std::pair<std::string, double>> gpuSecondsByOwner;
+
+    /**
+     * Latency series of one node; nullptr when the node was absent
+     * (disabled stack section or misspelled name). The costmap's two
+     * callbacks appear as costmap_generator_obj /
+     * costmap_generator_points, matching the paper's Fig. 5 rows.
+     */
+    const util::SampleSeries *
+    findNodeSeries(const std::string &name) const;
+
+    /** Series of one computation path; nullptr when untraced. */
+    const util::SampleSeries *findPathSeries(Path path) const;
+
+    /** Per-node summaries in stack order (Fig. 5 rows). */
+    std::vector<NodeLatency> nodeLatencies() const;
+
+    /** Worst-path p99 — the paper's end-to-end latency metric. */
+    double worstCaseP99() const;
+
+    /** Worst-path mean. */
+    double worstCaseMean() const;
+
+    /** Worst observed end-to-end latency across all paths. */
+    double worstCaseMax() const;
+
+    /** CPU busy seconds attributed to @p owner; 0 when unknown. */
+    double cpuSecondsOf(const std::string &owner) const;
+
+    /** GPU active seconds attributed to @p owner; 0 when unknown. */
+    double gpuSecondsOf(const std::string &owner) const;
+};
+
+/**
+ * Snapshot a finished run into a detached RunResult.
+ * @param run   a CharacterizationRun after execute()
+ * @param label human-readable experiment label carried through
+ *              reports
+ */
+RunResult snapshotRun(const CharacterizationRun &run,
+                      std::string label = "");
+
+} // namespace av::prof
+
+#endif // AVSCOPE_CORE_RUN_RESULT_HH

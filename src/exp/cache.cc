@@ -1,0 +1,338 @@
+#include "exp/cache.hh"
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace av::exp {
+
+namespace {
+
+// ---- bit-exact double encoding ----------------------------------
+
+std::string
+encF(double value)
+{
+    static const char digits[] = "0123456789abcdef";
+    auto bits = std::bit_cast<std::uint64_t>(value);
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[bits & 0xf];
+        bits >>= 4;
+    }
+    return out;
+}
+
+bool
+decF(const std::string &token, double &out)
+{
+    if (token.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : token) {
+        std::uint64_t digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        bits = (bits << 4) | digit;
+    }
+    out = std::bit_cast<double>(bits);
+    return true;
+}
+
+// ---- writer helpers ---------------------------------------------
+
+void
+putStats(std::ostream &os, const util::RunningStats &stats)
+{
+    const util::RunningStats::State s = stats.state();
+    os << ' ' << s.n << ' ' << encF(s.mean) << ' ' << encF(s.m2)
+       << ' ' << encF(s.sum) << ' ' << encF(s.min) << ' '
+       << encF(s.max);
+}
+
+void
+putSeries(std::ostream &os, const std::string &name,
+          const util::SampleSeries &series)
+{
+    os << name;
+    putStats(os, series.running());
+    const std::vector<double> &kept = series.samples();
+    os << ' ' << kept.size();
+    for (double v : kept)
+        os << ' ' << encF(v);
+    os << '\n';
+}
+
+// ---- reader helpers ---------------------------------------------
+
+bool
+getF(std::istream &is, double &out)
+{
+    std::string token;
+    return (is >> token) && decF(token, out);
+}
+
+bool
+getStats(std::istream &is, util::RunningStats &out)
+{
+    util::RunningStats::State s;
+    if (!(is >> s.n))
+        return false;
+    if (!getF(is, s.mean) || !getF(is, s.m2) || !getF(is, s.sum) ||
+        !getF(is, s.min) || !getF(is, s.max))
+        return false;
+    out = util::RunningStats::fromState(s);
+    return true;
+}
+
+bool
+getSeries(std::istream &is, prof::NamedSeries &out)
+{
+    util::RunningStats::State s;
+    if (!(is >> out.name >> s.n))
+        return false;
+    if (!getF(is, s.mean) || !getF(is, s.m2) || !getF(is, s.sum) ||
+        !getF(is, s.min) || !getF(is, s.max))
+        return false;
+    std::size_t kept = 0;
+    if (!(is >> kept))
+        return false;
+    std::vector<double> samples(kept);
+    for (std::size_t i = 0; i < kept; ++i)
+        if (!getF(is, samples[i]))
+            return false;
+    out.series =
+        util::SampleSeries::fromState(s, std::move(samples));
+    return true;
+}
+
+/** Expect the literal section keyword @p word next. */
+bool
+expect(std::istream &is, const char *word)
+{
+    std::string token;
+    return (is >> token) && token == word;
+}
+
+constexpr const char *kMagic = "avscope-result";
+constexpr int kVersion = 1;
+
+void
+serialize(std::ostream &os, const prof::RunResult &run)
+{
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "label " << run.label << '\n';
+
+    os << "nodes " << run.nodes.size() << '\n';
+    for (const prof::NamedSeries &row : run.nodes)
+        putSeries(os, row.name, row.series);
+
+    os << "paths " << run.paths.size() << '\n';
+    for (const prof::NamedSeries &row : run.paths)
+        putSeries(os, row.name, row.series);
+
+    os << "drops " << run.drops.size() << '\n';
+    for (const prof::DropRow &row : run.drops)
+        os << row.topic << ' ' << row.node << ' ' << row.delivered
+           << ' ' << row.dropped << '\n';
+
+    os << "counters " << run.counters.size() << '\n';
+    for (const prof::CounterRow &row : run.counters) {
+        os << row.node << ' ' << encF(row.ipc) << ' '
+           << encF(row.l1ReadMissRate) << ' '
+           << encF(row.l1WriteMissRate) << ' '
+           << encF(row.branchMissRate);
+        os << ' ' << row.mix.loads << ' ' << row.mix.stores << ' '
+           << row.mix.branches << ' ' << row.mix.intAlu << ' '
+           << row.mix.fpAlu << ' ' << row.mix.fpDiv << ' '
+           << row.mix.simd << ' ' << row.mix.other << '\n';
+    }
+
+    os << "utilization " << run.utilization.size() << '\n';
+    for (const prof::UtilizationResult &row : run.utilization) {
+        os << row.owner;
+        putStats(os, row.cpuShare);
+        putStats(os, row.gpuShare);
+        os << '\n';
+    }
+
+    os << "totals";
+    putStats(os, run.totalCpu);
+    putStats(os, run.totalGpu);
+    os << '\n';
+
+    os << "power";
+    putStats(os, run.cpuWatts);
+    putStats(os, run.gpuWatts);
+    os << ' ' << encF(run.cpuEnergyJ) << ' ' << encF(run.gpuEnergyJ)
+       << '\n';
+
+    os << "cpuowners " << run.cpuSecondsByOwner.size() << '\n';
+    for (const auto &[owner, seconds] : run.cpuSecondsByOwner)
+        os << owner << ' ' << encF(seconds) << '\n';
+    os << "gpuowners " << run.gpuSecondsByOwner.size() << '\n';
+    for (const auto &[owner, seconds] : run.gpuSecondsByOwner)
+        os << owner << ' ' << encF(seconds) << '\n';
+    os << "end\n";
+}
+
+bool
+parse(std::istream &is, prof::RunResult &run)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != kMagic ||
+        version != kVersion)
+        return false;
+
+    // The label is the remainder of its line (it may hold spaces).
+    if (!expect(is, "label"))
+        return false;
+    std::getline(is, run.label);
+    if (!run.label.empty() && run.label.front() == ' ')
+        run.label.erase(0, 1);
+
+    std::size_t count = 0;
+    if (!expect(is, "nodes") || !(is >> count))
+        return false;
+    run.nodes.resize(count);
+    for (prof::NamedSeries &row : run.nodes)
+        if (!getSeries(is, row))
+            return false;
+
+    if (!expect(is, "paths") || !(is >> count))
+        return false;
+    run.paths.resize(count);
+    for (prof::NamedSeries &row : run.paths)
+        if (!getSeries(is, row))
+            return false;
+
+    if (!expect(is, "drops") || !(is >> count))
+        return false;
+    run.drops.resize(count);
+    for (prof::DropRow &row : run.drops)
+        if (!(is >> row.topic >> row.node >> row.delivered >>
+              row.dropped))
+            return false;
+
+    if (!expect(is, "counters") || !(is >> count))
+        return false;
+    run.counters.resize(count);
+    for (prof::CounterRow &row : run.counters) {
+        if (!(is >> row.node))
+            return false;
+        if (!getF(is, row.ipc) || !getF(is, row.l1ReadMissRate) ||
+            !getF(is, row.l1WriteMissRate) ||
+            !getF(is, row.branchMissRate))
+            return false;
+        if (!(is >> row.mix.loads >> row.mix.stores >>
+              row.mix.branches >> row.mix.intAlu >> row.mix.fpAlu >>
+              row.mix.fpDiv >> row.mix.simd >> row.mix.other))
+            return false;
+    }
+
+    if (!expect(is, "utilization") || !(is >> count))
+        return false;
+    run.utilization.resize(count);
+    for (prof::UtilizationResult &row : run.utilization) {
+        if (!(is >> row.owner))
+            return false;
+        if (!getStats(is, row.cpuShare) ||
+            !getStats(is, row.gpuShare))
+            return false;
+    }
+
+    if (!expect(is, "totals") || !getStats(is, run.totalCpu) ||
+        !getStats(is, run.totalGpu))
+        return false;
+
+    if (!expect(is, "power") || !getStats(is, run.cpuWatts) ||
+        !getStats(is, run.gpuWatts) || !getF(is, run.cpuEnergyJ) ||
+        !getF(is, run.gpuEnergyJ))
+        return false;
+
+    if (!expect(is, "cpuowners") || !(is >> count))
+        return false;
+    run.cpuSecondsByOwner.resize(count);
+    for (auto &[owner, seconds] : run.cpuSecondsByOwner)
+        if (!(is >> owner) || !getF(is, seconds))
+            return false;
+    if (!expect(is, "gpuowners") || !(is >> count))
+        return false;
+    run.gpuSecondsByOwner.resize(count);
+    for (auto &[owner, seconds] : run.gpuSecondsByOwner)
+        if (!(is >> owner) || !getF(is, seconds))
+            return false;
+
+    return expect(is, "end");
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory))
+{
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return (std::filesystem::path(directory_) / (key + ".result"))
+        .string();
+}
+
+std::optional<prof::RunResult>
+ResultCache::load(const std::string &key) const
+{
+    if (!enabled())
+        return std::nullopt;
+    std::ifstream is(entryPath(key));
+    if (!is)
+        return std::nullopt;
+    prof::RunResult run;
+    if (!parse(is, run))
+        return std::nullopt;
+    return run;
+}
+
+bool
+ResultCache::store(const std::string &key,
+                   const prof::RunResult &result) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec)
+        return false;
+
+    // Unique temp name per writer thread: two jobs storing the same
+    // key race only on the final atomic rename, never on content.
+    std::ostringstream suffix;
+    suffix << ".tmp-" << std::this_thread::get_id();
+    const std::string temp = entryPath(key) + suffix.str();
+    {
+        std::ofstream os(temp, std::ios::trunc);
+        if (!os)
+            return false;
+        serialize(os, result);
+        if (!os.flush())
+            return false;
+    }
+    std::filesystem::rename(temp, entryPath(key), ec);
+    if (ec) {
+        std::filesystem::remove(temp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace av::exp

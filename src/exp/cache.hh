@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ResultCache — content-addressed, on-disk storage of RunResults.
+ *
+ * Entries live under one directory as `<cacheKey>.result` text
+ * files. Every floating-point value is stored as the hex of its IEEE
+ * bit pattern, so a reloaded result is bit-identical to the stored
+ * one regardless of locale or formatting defaults — the property the
+ * determinism tests assert. A file that fails to parse (truncated
+ * write, stale format) is treated as a miss, never an error: the
+ * cache is an accelerator, not a source of truth.
+ */
+
+#ifndef AVSCOPE_EXP_CACHE_HH
+#define AVSCOPE_EXP_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "core/run_result.hh"
+
+namespace av::exp {
+
+class ResultCache
+{
+  public:
+    /** @param directory cache root; empty disables the cache. */
+    explicit ResultCache(std::string directory = "");
+
+    bool enabled() const { return !directory_.empty(); }
+
+    /** File an entry would occupy (valid even when absent). */
+    std::string entryPath(const std::string &key) const;
+
+    /**
+     * Load the entry for @p key; nullopt when the cache is disabled,
+     * the entry is absent, or the file does not parse.
+     */
+    std::optional<prof::RunResult>
+    load(const std::string &key) const;
+
+    /**
+     * Store @p result under @p key (creating the directory on first
+     * use). Written via a temp file + rename so concurrent writers
+     * of the same key and interrupted runs can never leave a
+     * half-written entry behind.
+     * @return false when disabled or on I/O failure
+     */
+    bool store(const std::string &key,
+               const prof::RunResult &result) const;
+
+  private:
+    std::string directory_;
+};
+
+} // namespace av::exp
+
+#endif // AVSCOPE_EXP_CACHE_HH

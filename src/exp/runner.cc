@@ -1,0 +1,161 @@
+#include "exp/runner.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace av::exp {
+
+Runner::Runner(RunnerConfig config)
+    : cache_(std::move(config.cacheDir))
+{
+    const unsigned hardware = std::thread::hardware_concurrency();
+    jobs_ = config.jobs != 0 ? config.jobs
+                             : std::max(1u, hardware);
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+Runner::submit(ExperimentSpec spec)
+{
+    std::size_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = queue_.size();
+        queue_.push_back(Job{std::move(spec), {}, false});
+        pending_.push_back(id);
+    }
+    workReady_.notify_one();
+    return id;
+}
+
+const prof::RunResult &
+Runner::result(std::size_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    AV_ASSERT(id < queue_.size(), "unknown job id ", id);
+    Job &job = queue_[id];
+    jobDone_.wait(lock, [&job] { return job.done; });
+    return job.result;
+}
+
+std::vector<const prof::RunResult *>
+Runner::collect()
+{
+    std::size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        count = queue_.size();
+    }
+    std::vector<const prof::RunResult *> out;
+    out.reserve(count);
+    for (std::size_t id = 0; id < count; ++id)
+        out.push_back(&result(id));
+    return out;
+}
+
+void
+Runner::workerLoop()
+{
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !pending_.empty();
+            });
+            if (pending_.empty())
+                return; // stopping, queue drained
+            // Resolve the slot while holding the lock: deque
+            // indexing races with concurrent push_back, but the
+            // reference it yields never moves afterwards.
+            job = &queue_[pending_.front()];
+            pending_.pop_front();
+        }
+        runJob(*job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job->done = true;
+        }
+        jobDone_.notify_all();
+    }
+}
+
+void
+Runner::runJob(Job &job)
+{
+    const std::string key = cacheKey(job.spec);
+    if (cache_.enabled()) {
+        if (std::optional<prof::RunResult> cached =
+                cache_.load(key)) {
+            job.result = std::move(*cached);
+            // The label is presentation, not content: adopt the
+            // spec's, whatever the storing experiment called itself.
+            job.result.label = job.spec.label;
+            cacheHits_.fetch_add(1);
+            util::inform("experiment '", job.spec.label,
+                         "': cache hit (", key, "), replay skipped");
+            return;
+        }
+    }
+    const std::shared_ptr<const prof::DriveData> drive =
+        driveFor(job.spec);
+    prof::CharacterizationRun run(drive, job.spec.config);
+    run.execute();
+    job.result = prof::snapshotRun(run, job.spec.label);
+    executed_.fetch_add(1);
+    if (cache_.enabled() && cache_.store(key, job.result))
+        util::inform("experiment '", job.spec.label, "': cached as ",
+                     key);
+}
+
+std::shared_ptr<const prof::DriveData>
+Runner::driveFor(const ExperimentSpec &spec)
+{
+    const std::string key = driveKey(spec);
+    std::promise<std::shared_ptr<const prof::DriveData>> promise;
+    bool recordHere = false;
+    std::shared_future<std::shared_ptr<const prof::DriveData>>
+        future;
+    {
+        std::lock_guard<std::mutex> lock(driveMutex_);
+        auto it = drives_.find(key);
+        if (it == drives_.end()) {
+            recordHere = true;
+            future = promise.get_future().share();
+            drives_.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+    if (recordHere) {
+        util::inform("recording drive ", key, " (",
+                     sim::ticksToSeconds(spec.driveDuration),
+                     " s)");
+        promise.set_value(prof::makeDrive(
+            spec.scenario, spec.driveDuration, spec.recorder));
+    }
+    return future.get();
+}
+
+std::string
+defaultCacheDir()
+{
+    return "results/cache";
+}
+
+} // namespace av::exp

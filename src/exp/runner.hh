@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Runner — the experiment engine: executes ExperimentSpecs on a
+ * fixed-size pool of host threads and returns RunResults in submit
+ * order, consulting the on-disk ResultCache first.
+ *
+ * Determinism contract: every characterization replay owns its
+ * entire simulation state (EventQueue, Machine, RosGraph, stack,
+ * RNG streams are all per-run objects), so runs are independent
+ * pure functions of their spec and can execute on any thread in any
+ * order. The only cross-thread structures are this class's job
+ * queue, the drive memo and the logger — all mutex- or
+ * atomic-protected and none feeding measurements. Results are
+ * therefore byte-identical for any worker count, which
+ * tests/exp/test_runner.cc asserts.
+ *
+ * Drives are recorded at most once per distinct (scenario,
+ * recorder, duration) via an in-process memo, and only when a cache
+ * miss actually forces a replay — a fully cached invocation records
+ * no drive at all, which is where the second-run wall-clock win
+ * comes from.
+ */
+
+#ifndef AVSCOPE_EXP_RUNNER_HH
+#define AVSCOPE_EXP_RUNNER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/cache.hh"
+#include "exp/experiment.hh"
+
+namespace av::exp {
+
+struct RunnerConfig
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Result-cache directory; empty disables caching. */
+    std::string cacheDir;
+};
+
+class Runner
+{
+  public:
+    explicit Runner(RunnerConfig config = RunnerConfig());
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /** Queue an experiment; returns its id (submit order). */
+    std::size_t submit(ExperimentSpec spec);
+
+    /**
+     * Result of job @p id; blocks until it is finished. The
+     * reference stays valid for the Runner's lifetime.
+     */
+    const prof::RunResult &result(std::size_t id);
+
+    /** All results so far, in submit order; blocks until done. */
+    std::vector<const prof::RunResult *> collect();
+
+    /** Worker threads actually running. */
+    unsigned jobs() const { return jobs_; }
+
+    /** Results served from the on-disk cache. */
+    std::size_t cacheHits() const { return cacheHits_.load(); }
+
+    /** Replays actually simulated (cache misses). */
+    std::size_t executed() const { return executed_.load(); }
+
+  private:
+    struct Job
+    {
+        ExperimentSpec spec;
+        prof::RunResult result;
+        bool done = false;
+    };
+
+    void workerLoop();
+    void runJob(Job &job);
+    std::shared_ptr<const prof::DriveData>
+    driveFor(const ExperimentSpec &spec);
+
+    ResultCache cache_;
+    unsigned jobs_ = 1;
+
+    std::mutex mutex_; ///< guards jobs_, queue_ and Job::done
+    std::condition_variable workReady_;
+    std::condition_variable jobDone_;
+    std::deque<Job> queue_;           ///< stable storage, by id
+    std::deque<std::size_t> pending_; ///< ids awaiting a worker
+    bool stopping_ = false;
+
+    std::mutex driveMutex_; ///< guards drives_
+    /**
+     * Drive memo: driveKey → recorded drive (shared, immutable once
+     * set). Futures so the first worker needing a drive records it
+     * while others needing the *same* drive wait instead of
+     * re-recording, and workers needing *different* drives record
+     * concurrently.
+     */
+    std::map<std::string,
+             std::shared_future<
+                 std::shared_ptr<const prof::DriveData>>>
+        drives_;
+
+    std::atomic<std::size_t> cacheHits_{0};
+    std::atomic<std::size_t> executed_{0};
+
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Default result-cache directory (results/cache). Benches pass this
+ * so repeated invocations of the same experiment skip the replay;
+ * tests use throw-away directories instead.
+ */
+std::string defaultCacheDir();
+
+} // namespace av::exp
+
+#endif // AVSCOPE_EXP_RUNNER_HH

@@ -1,12 +1,19 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <mutex>
 
 namespace av::util {
 
 namespace {
 
-LogLevel gThreshold = LogLevel::Info;
+// The logger is the one deliberately shared service of the process:
+// experiment worker threads (src/exp) log concurrently, so the
+// threshold is atomic and emission is serialized by a mutex. Neither
+// feeds back into any measurement, so determinism is unaffected.
+// avlint: allow(mutable-global)
+std::atomic<LogLevel> gThreshold{LogLevel::Info};
+// avlint: allow(mutable-global)
 std::mutex gLogMutex;
 
 const char *
@@ -26,19 +33,19 @@ levelName(LogLevel level)
 LogLevel
 logThreshold()
 {
-    return gThreshold;
+    return gThreshold.load(std::memory_order_relaxed);
 }
 
 void
 setLogThreshold(LogLevel level)
 {
-    gThreshold = level;
+    gThreshold.store(level, std::memory_order_relaxed);
 }
 
 void
 logRecord(LogLevel level, std::string_view msg)
 {
-    if (level < gThreshold)
+    if (level < gThreshold.load(std::memory_order_relaxed))
         return;
     std::lock_guard<std::mutex> lock(gLogMutex);
     std::cerr << "[" << levelName(level) << "] " << msg << "\n";

@@ -61,6 +61,25 @@ RunningStats::reset()
     *this = RunningStats();
 }
 
+RunningStats::State
+RunningStats::state() const
+{
+    return State{n_, mean_, m2_, sum_, min_, max_};
+}
+
+RunningStats
+RunningStats::fromState(const State &state)
+{
+    RunningStats out;
+    out.n_ = state.n;
+    out.mean_ = state.mean;
+    out.m2_ = state.m2;
+    out.sum_ = state.sum;
+    out.min_ = state.min;
+    out.max_ = state.max;
+    return out;
+}
+
 SampleSeries::SampleSeries(std::size_t capacity, std::uint64_t seed)
     : capacity_(capacity), rngState_(seed ? seed : 1)
 {
@@ -148,6 +167,18 @@ SampleSeries::histogram(std::size_t bins) const
             b = static_cast<std::size_t>((v - lo) / width);
         out[std::min(b, bins - 1)]++;
     }
+    return out;
+}
+
+SampleSeries
+SampleSeries::fromState(const RunningStats::State &stats,
+                        std::vector<double> samples)
+{
+    SampleSeries out(std::max<std::size_t>(1u << 16,
+                                           samples.size()));
+    out.stats_ = RunningStats::fromState(stats);
+    out.samples_ = std::move(samples);
+    out.sorted_ = false;
     return out;
 }
 

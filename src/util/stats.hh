@@ -27,6 +27,27 @@ namespace av::util {
 class RunningStats
 {
   public:
+    /**
+     * Serializable snapshot of the accumulator. The result cache
+     * (src/exp) persists these so a reloaded run reproduces every
+     * derived statistic bit-for-bit.
+     */
+    struct State
+    {
+        std::size_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double sum = 0.0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+    };
+
+    /** Snapshot the full internal state. */
+    State state() const;
+
+    /** Rebuild an accumulator from a snapshot. */
+    static RunningStats fromState(const State &state);
+
     /** Add one observation. */
     void add(double x);
 
@@ -114,6 +135,17 @@ class SampleSeries
 
     /** Full summary for reporting. */
     DistributionSummary summarize() const;
+
+    /**
+     * Rebuild a series from persisted state (the result cache):
+     * exact streaming stats plus the retained sample multiset.
+     * Quantiles, summaries and histograms of the rebuilt series are
+     * identical to the original's; reservoir admission for *further*
+     * add() calls is not replayed, so rebuilt series are treated as
+     * read-only measurement results.
+     */
+    static SampleSeries fromState(const RunningStats::State &stats,
+                                  std::vector<double> samples);
 
     /**
      * Histogram with @p bins equal-width buckets over [min, max];

@@ -5,12 +5,17 @@
  * findings_summary report over the same scenario config must produce
  * byte-identical output — any wall-clock read, unseeded RNG draw or
  * hash-order dependence in the replay pipeline shows up here as a
- * diff.
+ * diff. A second test re-renders the report with a different worker
+ * count: the thread-parallel Runner must not change a single byte
+ * versus --jobs 1 (the isolation contract of src/exp).
+ *
+ * Both tests pass --no-cache so every report comes from real
+ * replays; cache-path determinism is covered by tests/exp.
  */
 
-#include <array>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -18,24 +23,45 @@
 
 namespace {
 
+/** Render the findings report once under the given flags. */
+std::string
+render(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "determinism_test");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    av::bench::BenchEnv env(static_cast<int>(argv.size()),
+                            argv.data());
+    std::ostringstream os;
+    av::bench::runFindingsSummary(env, os);
+    return os.str();
+}
+
 TEST(Determinism, FindingsReportByteIdenticalAcrossRuns)
 {
-    std::array<std::string, 3> args = {"determinism_test",
-                                       "--duration", "8"};
-    std::array<char *, 3> argv = {args[0].data(), args[1].data(),
-                                  args[2].data()};
-    const av::bench::BenchEnv env(
-        static_cast<int>(argv.size()), argv.data());
+    const std::string first =
+        render({"--duration", "8", "--no-cache"});
+    const std::string second =
+        render({"--duration", "8", "--no-cache"});
 
-    std::ostringstream first, second;
-    av::bench::runFindingsSummary(env, first);
-    av::bench::runFindingsSummary(env, second);
-
-    ASSERT_FALSE(first.str().empty());
-    EXPECT_EQ(first.str(), second.str());
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
     // The report must carry real content, not just headers.
-    EXPECT_NE(first.str().find("findings reproduced"),
+    EXPECT_NE(first.find("findings reproduced"),
               std::string::npos);
+}
+
+TEST(Determinism, FindingsReportIndependentOfWorkerCount)
+{
+    const std::string serial =
+        render({"--duration", "8", "--no-cache", "--jobs", "1"});
+    const std::string parallel =
+        render({"--duration", "8", "--no-cache", "--jobs", "3"});
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
 }
 
 } // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the experiment engine (src/exp): the Runner's
+ * worker-count independence (parallel results byte-identical to
+ * serial), the result cache's bit-fidelity and replay skipping, and
+ * the cache key's coverage of every replay-relevant RunConfig field.
+ * Serialized cache entries are the comparison medium: two RunResults
+ * are "byte-identical" when ResultCache writes the same file for
+ * both.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hh"
+
+namespace {
+
+using namespace av;
+
+/** Throw-away cache directory, recreated empty per call. */
+std::string
+freshDir(const char *name)
+{
+    const std::string path = std::string("/tmp/avscope_exp_") + name;
+    std::filesystem::remove_all(path);
+    return path;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Serialize @p result through the cache and return the bytes. */
+std::string
+serialized(const std::string &dir, const std::string &key,
+           const prof::RunResult &result)
+{
+    const exp::ResultCache cache(dir);
+    EXPECT_TRUE(cache.store(key, result));
+    return fileBytes(cache.entryPath(key));
+}
+
+/** The three detector experiments on a short shared drive. */
+std::vector<exp::ExperimentSpec>
+detectorSweep()
+{
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto kind : {perception::DetectorKind::Ssd512,
+                            perception::DetectorKind::Ssd300,
+                            perception::DetectorKind::Yolov3})
+        specs.push_back(exp::spec()
+                            .detector(kind)
+                            .durationSeconds(6)
+                            .seed(2020)
+                            .named(perception::detectorName(kind)));
+    return specs;
+}
+
+TEST(Runner, ParallelRunByteIdenticalToSerial)
+{
+    const auto specs = detectorSweep();
+    const std::string dir = freshDir("serialize");
+
+    exp::Runner serial(exp::RunnerConfig{1, ""});
+    exp::Runner parallel(exp::RunnerConfig{3, ""});
+    ASSERT_EQ(serial.jobs(), 1u);
+    ASSERT_EQ(parallel.jobs(), 3u);
+    for (const auto &s : specs) {
+        serial.submit(s);
+        parallel.submit(s);
+    }
+    const auto from_serial = serial.collect();
+    const auto from_parallel = parallel.collect();
+    ASSERT_EQ(from_serial.size(), specs.size());
+    ASSERT_EQ(from_parallel.size(), specs.size());
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string tag = std::to_string(i);
+        EXPECT_EQ(
+            serialized(dir, "serial-" + tag, *from_serial[i]),
+            serialized(dir, "parallel-" + tag, *from_parallel[i]))
+            << "detector sweep entry " << i
+            << " differs across worker counts";
+    }
+    EXPECT_EQ(serial.executed(), specs.size());
+    EXPECT_EQ(parallel.executed(), specs.size());
+    EXPECT_EQ(serial.cacheHits(), 0u);
+    EXPECT_EQ(parallel.cacheHits(), 0u);
+}
+
+TEST(Runner, CacheHitIsBitIdenticalAndSkipsReplay)
+{
+    const std::string dir = freshDir("cache");
+    const auto spec = exp::spec()
+                          .durationSeconds(6)
+                          .seed(7)
+                          .named("cached experiment");
+
+    exp::Runner cold(exp::RunnerConfig{1, dir});
+    const prof::RunResult &first = cold.result(cold.submit(spec));
+    EXPECT_EQ(cold.executed(), 1u);
+    EXPECT_EQ(cold.cacheHits(), 0u);
+
+    // The entry is on disk under the spec's content key.
+    const exp::ResultCache cache(dir);
+    EXPECT_TRUE(std::filesystem::exists(
+        cache.entryPath(exp::cacheKey(spec))));
+
+    exp::Runner warm(exp::RunnerConfig{1, dir});
+    const prof::RunResult &second = warm.result(warm.submit(spec));
+    EXPECT_EQ(warm.executed(), 0u) << "cache hit must skip replay";
+    EXPECT_EQ(warm.cacheHits(), 1u);
+    EXPECT_EQ(second.label, "cached experiment");
+
+    const std::string scratch = freshDir("cache_compare");
+    EXPECT_EQ(serialized(scratch, "first", first),
+              serialized(scratch, "second", second));
+}
+
+TEST(Runner, CacheKeyCoversEveryReplayField)
+{
+    const auto base = exp::spec();
+    const std::string key = exp::cacheKey(base);
+
+    // The label is presentation only.
+    auto relabeled = base;
+    relabeled.named("same replay, new name");
+    EXPECT_EQ(exp::cacheKey(relabeled), key);
+
+    // Every replay-relevant dimension must move the key.
+    const struct
+    {
+        const char *what;
+        void (*mutate)(exp::ExperimentSpec &);
+    } cases[] = {
+        {"scenario seed",
+         [](exp::ExperimentSpec &s) { s.scenario.seed += 1; }},
+        {"scenario traffic",
+         [](exp::ExperimentSpec &s) { s.scenario.nVehicles += 1; }},
+        {"drive duration",
+         [](exp::ExperimentSpec &s) {
+             s.driveDuration += sim::oneSec;
+         }},
+        {"camera period",
+         [](exp::ExperimentSpec &s) {
+             s.recorder.cameraPeriod += sim::oneMs;
+         }},
+        {"detector",
+         [](exp::ExperimentSpec &s) {
+             s.detector(perception::DetectorKind::Yolov3);
+         }},
+        {"stack section toggle",
+         [](exp::ExperimentSpec &s) {
+             s.config.stack.enableTracking = false;
+         }},
+        {"cpu cores",
+         [](exp::ExperimentSpec &s) {
+             s.config.machine.cpu.cores += 1;
+         }},
+        {"gpu throughput",
+         [](exp::ExperimentSpec &s) {
+             s.config.machine.gpu.tflops *= 2.0;
+         }},
+        {"transport bandwidth",
+         [](exp::ExperimentSpec &s) {
+             s.config.transport.bandwidthGBs *= 2.0;
+         }},
+        {"node calibration",
+         [](exp::ExperimentSpec &s) {
+             s.config.calibration.ndtMatching.workScale *= 1.01;
+         }},
+        {"probe grain",
+         [](exp::ExperimentSpec &s) {
+             s.config.samplePeriod /= 2;
+         }},
+        {"drain grace",
+         [](exp::ExperimentSpec &s) {
+             s.config.drainGrace += sim::oneSec;
+         }},
+    };
+    for (const auto &c : cases) {
+        auto changed = base;
+        c.mutate(changed);
+        EXPECT_NE(exp::cacheKey(changed), key)
+            << c.what << " does not reach the cache key";
+    }
+
+    // driveKey tracks drive inputs only: machine changes share the
+    // recorded drive, scenario changes do not.
+    auto other_machine = base;
+    other_machine.config.machine.cpu.cores += 4;
+    EXPECT_EQ(exp::driveKey(other_machine), exp::driveKey(base));
+    auto other_seed = base;
+    other_seed.seed(base.scenario.seed + 1);
+    EXPECT_NE(exp::driveKey(other_seed), exp::driveKey(base));
+}
+
+} // namespace

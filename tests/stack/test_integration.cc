@@ -182,8 +182,10 @@ TEST_F(StackIntegration, IsolationModeRunsDetectorOnly)
     run.execute();
 
     EXPECT_EQ(run.stack().nodes().size(), 1u);
-    const auto vis =
-        run.nodeLatencySeries("vision_detection").summarize();
+    const util::SampleSeries *vis_series =
+        run.findNodeLatencySeries("vision_detection");
+    ASSERT_NE(vis_series, nullptr);
+    const auto vis = vis_series->summarize();
     EXPECT_GT(vis.count, 100u);
     // Alone on the machine: latency must be tighter than the full
     // stack's (Findings 4/5 direction).
@@ -191,8 +193,10 @@ TEST_F(StackIntegration, IsolationModeRunsDetectorOnly)
     full.stack.detector = perception::DetectorKind::Ssd512;
     prof::CharacterizationRun full_run(drive_, full);
     full_run.execute();
-    const auto fullsum =
-        full_run.nodeLatencySeries("vision_detection").summarize();
+    const util::SampleSeries *full_series =
+        full_run.findNodeLatencySeries("vision_detection");
+    ASSERT_NE(full_series, nullptr);
+    const auto fullsum = full_series->summarize();
     EXPECT_LT(vis.mean, fullsum.mean);
     EXPECT_LT(vis.stddev, fullsum.stddev);
 }
@@ -207,11 +211,14 @@ TEST_F(StackIntegration, DetectorChoiceChangesVisionLatency)
     light.stack.detector = perception::DetectorKind::Ssd300;
     prof::CharacterizationRun lr(drive_, light);
     lr.execute();
-    EXPECT_GT(
-        hr.nodeLatencySeries("vision_detection").running().mean(),
-        1.8 *
-            lr.nodeLatencySeries("vision_detection").running()
-                .mean());
+    const util::SampleSeries *heavy_series =
+        hr.findNodeLatencySeries("vision_detection");
+    const util::SampleSeries *light_series =
+        lr.findNodeLatencySeries("vision_detection");
+    ASSERT_NE(heavy_series, nullptr);
+    ASSERT_NE(light_series, nullptr);
+    EXPECT_GT(heavy_series->running().mean(),
+              1.8 * light_series->running().mean());
 }
 
 } // namespace

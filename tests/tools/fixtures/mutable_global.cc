@@ -1,0 +1,28 @@
+// Namespace-scope mutable state; const/function lines must stay
+// quiet.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace av::fixture {
+
+int gCounter = 0;                      // line 9: mutable global
+std::mutex gLock;                      // line 10: mutable global
+static double gScale = 1.5;            // line 11: mutable global
+std::atomic<bool> gReady{false};       // line 12: mutable global
+
+const int kLimit = 64;                 // legal: const
+constexpr double kEpsilon = 1e-9;      // legal: constexpr
+inline const std::string kName = "av"; // legal: const
+
+int
+bump()
+{
+    int local = gCounter; // legal: function-local state
+    ++local;
+    return local;
+}
+
+bool operator==(const std::string &a, int b);
+
+} // namespace av::fixture

@@ -123,6 +123,22 @@ TEST(Avlint, PrintFlaggedInLibraryCodeOnly)
     EXPECT_TRUE(in_bench.empty());
 }
 
+TEST(Avlint, MutableGlobalFlaggedAtNamespaceScope)
+{
+    const auto in_src = lintFile(fixture("mutable_global.cc"),
+                                 "src/fixture/mutable_global.cc");
+    EXPECT_EQ(ruleLines(in_src), (Pairs{{"mutable-global", 9},
+                                        {"mutable-global", 10},
+                                        {"mutable-global", 11},
+                                        {"mutable-global", 12}}));
+
+    // Benches and tools own their process; only src/ is library
+    // code bound by the Runner's isolation contract.
+    const auto in_tools = lintFile(fixture("mutable_global.cc"),
+                                   "tools/mutable_global.cc");
+    EXPECT_TRUE(in_tools.empty());
+}
+
 TEST(Avlint, SuppressionCommentSilencesSameAndNextLine)
 {
     const auto diags = lintFile(fixture("suppressed.cc"),
@@ -140,7 +156,7 @@ TEST(Avlint, FileLevelSuppressionSilencesWholeFile)
 TEST(Avlint, RuleCatalogIsStable)
 {
     const auto names = av::lint::ruleNames();
-    EXPECT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.size(), 8u);
     EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"),
               names.end());
 }

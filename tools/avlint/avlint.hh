@@ -24,6 +24,9 @@
  *   raw-new-delete    naked new/delete outside RAII wrappers
  *   print-in-library  printf/cout in src/ library code — use
  *                     util/logging instead
+ *   mutable-global    namespace-scope mutable variables in src/ —
+ *                     shared mutable state breaks the isolation
+ *                     contract of the thread-parallel Runner
  *
  * A diagnostic on line N is silenced by `// avlint: allow(<rule>)` on
  * the same line, or on a comment-only line directly above. A

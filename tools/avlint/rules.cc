@@ -372,6 +372,170 @@ rulePrintInLibrary(const SourceFile &f, Diags &out)
                  " util/logging");
 }
 
+// ---------------------------------------------------------------
+// mutable-global: namespace-scope mutable variables in src/.
+// Shared mutable state is what lets one experiment's replay observe
+// another's — the failure mode the thread-parallel Runner must
+// exclude. All run state must live in per-run objects; the rare
+// justified global (the process logger) carries a written
+// suppression.
+// ---------------------------------------------------------------
+
+/** Index just past the brace block opening at @p open. */
+std::size_t
+skipBraces(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+        if (toks[j].text == "{")
+            ++depth;
+        else if (toks[j].text == "}" && --depth == 0)
+            return j + 1;
+    }
+    return toks.size();
+}
+
+/** Index just past the paren group opening at @p open. */
+std::size_t
+skipParens(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+        if (toks[j].text == "(")
+            ++depth;
+        else if (toks[j].text == ")" && --depth == 0)
+            return j + 1;
+    }
+    return toks.size();
+}
+
+/** Index just past an initializer: everything up to the ';'. */
+std::size_t
+skipInitializer(const std::vector<Token> &toks, std::size_t j)
+{
+    while (j < toks.size()) {
+        if (toks[j].text == ";")
+            return j + 1;
+        if (toks[j].text == "{")
+            j = skipBraces(toks, j);
+        else if (toks[j].text == "(")
+            j = skipParens(toks, j);
+        else
+            ++j;
+    }
+    return j;
+}
+
+void
+ruleMutableGlobal(const SourceFile &f, Diags &out)
+{
+    // Library code only: benches/examples/tools own their process
+    // and may keep main()-adjacent state.
+    if (!startsWith(f.relPath(), "src/"))
+        return;
+
+    // Statement openers that can never declare a mutable variable.
+    static const std::set<std::string> skipStmt = {
+        "using",  "typedef", "template",      "class",
+        "struct", "enum",    "union",         "extern",
+        "friend", "static_assert",
+    };
+
+    const auto &toks = f.tokens();
+    std::size_t i = 0;
+    while (i < toks.size()) {
+        const Token &t = toks[i];
+        if (t.text == "#") {
+            // Preprocessor directive: consume the rest of its line.
+            const int line = t.line;
+            while (i < toks.size() && toks[i].line == line)
+                ++i;
+            continue;
+        }
+        if (t.text == "namespace") {
+            // Enter the namespace: its body stays namespace scope.
+            while (i < toks.size() && toks[i].text != "{" &&
+                   toks[i].text != ";")
+                ++i;
+            if (i < toks.size())
+                ++i;
+            continue;
+        }
+        if (t.text == "}" || t.text == ";") {
+            ++i; // namespace close / stray semicolon
+            continue;
+        }
+        if (skipStmt.count(t.text)) {
+            // Type definition or alias: skip its body and the
+            // trailing semicolon.
+            std::size_t j = i;
+            while (j < toks.size() && toks[j].text != ";" &&
+                   toks[j].text != "{")
+                ++j;
+            if (j < toks.size() && toks[j].text == "{") {
+                j = skipBraces(toks, j);
+                if (j < toks.size() && toks[j].text == ";")
+                    ++j;
+            } else if (j < toks.size()) {
+                ++j;
+            }
+            i = j;
+            continue;
+        }
+
+        // Candidate declaration: scan its declarator part.
+        const int stmtLine = t.line;
+        bool isConst = false, isFunction = false, ended = false;
+        std::string name;
+        std::size_t idents = 0;
+        std::size_t j = i;
+        while (j < toks.size() && !ended) {
+            const std::string &w = toks[j].text;
+            if (w == ";") {
+                ++j;
+                ended = true;
+            } else if (w == "(") {
+                isFunction = true;
+                j = skipParens(toks, j);
+            } else if (w == "=" && !isFunction) {
+                j = skipInitializer(toks, j);
+                ended = true;
+            } else if (w == "{") {
+                const std::size_t after = skipBraces(toks, j);
+                if (after < toks.size() &&
+                    toks[after].text == ";") {
+                    j = after + 1; // brace initializer
+                } else {
+                    isFunction = true; // function/lambda body
+                    j = after;
+                }
+                ended = true;
+            } else {
+                if (w == "const" || w == "constexpr" ||
+                    w == "constinit")
+                    isConst = true;
+                // Punct tokens are single chars, so `operator==`
+                // lexes as `operator` `=` `=`; classify before the
+                // `=` branch can mistake it for an initializer.
+                if (w == "operator")
+                    isFunction = true;
+                if (toks[j].kind == TokenKind::Identifier) {
+                    name = w;
+                    ++idents;
+                }
+                ++j;
+            }
+        }
+        if (!isFunction && !isConst && idents >= 2)
+            emit(out, f, stmtLine, "mutable-global",
+                 "namespace-scope mutable variable '" + name +
+                     "'; per-run state must live in run objects"
+                     " (suppress with a written justification if"
+                     " truly process-wide)");
+        i = j;
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -381,7 +545,7 @@ ruleNames()
         "wall-clock",        "raw-time-arith",
         "include-guard",     "using-namespace-header",
         "unordered-iter",    "raw-new-delete",
-        "print-in-library",
+        "print-in-library",  "mutable-global",
     };
 }
 
@@ -396,6 +560,7 @@ lintSource(const SourceFile &file, const SourceFile *companion)
     ruleUnorderedIter(file, companion, all);
     ruleRawNewDelete(file, all);
     rulePrintInLibrary(file, all);
+    ruleMutableGlobal(file, all);
 
     Diags kept;
     for (Diagnostic &d : all)
