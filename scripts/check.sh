@@ -2,6 +2,7 @@
 # Full correctness gate for AVScope.
 #
 #   1. tier-1 verify: default configure + build + ctest
+#      (then the fault-injection smoke by its ctest label)
 #   2. avlint over the whole tree
 #   3. rebuild + ctest under AddressSanitizer + UBSan
 #   4. rebuild + ctest under ThreadSanitizer (the Runner's worker
@@ -29,6 +30,9 @@ cmake --build "$BUILD" -j "$JOBS"
 step "tier-1: ctest"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+step "fault-injection smoke (ctest label 'fault')"
+ctest --test-dir "$BUILD" --output-on-failure -L fault
+
 step "avlint"
 "$BUILD/tools/avlint/avlint" --root "$ROOT"
 
@@ -38,6 +42,8 @@ cmake -B "$ASAN_BUILD" -S "$ROOT" \
 cmake --build "$ASAN_BUILD" -j "$JOBS"
 
 step "sanitizers: ctest (ASan + UBSan, halt on any report)"
+# The full suite includes fault_resilience.smoke (label 'fault'), so
+# every fault class runs under ASan/UBSan here too.
 ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"

@@ -56,6 +56,15 @@ CharacterizationRun::CharacterizationRun(
         *eq_, *machine_, config_.samplePeriod);
     power_ = std::make_unique<PowerMonitor>(*eq_, *machine_,
                                             config_.samplePeriod);
+    staleness_ = std::make_unique<StalenessMonitor>(*graph_);
+    if (!config_.faults.empty()) {
+        // Constructor-time validation: a typo'd node name throws
+        // std::invalid_argument here, before any simulation runs.
+        injector_ = std::make_unique<fault::FaultInjector>(
+            *graph_, config_.faults);
+        recovery_ = std::make_unique<RecoveryProbe>(*graph_,
+                                                    config_.faults);
+    }
 }
 
 CharacterizationRun::~CharacterizationRun() = default;
@@ -65,12 +74,16 @@ CharacterizationRun::execute()
 {
     AV_ASSERT(!executed_, "CharacterizationRun executed twice");
     executed_ = true;
+    if (injector_)
+        injector_->arm();
     util_->start();
     power_->start();
+    staleness_->start();
     drive_->bag.replay(*graph_);
     eq_->runUntil(drive_->duration + config_.drainGrace);
     util_->stop();
     power_->stop();
+    staleness_->stop();
     // Drain whatever is still in flight (bounded).
     eq_->runUntil(drive_->duration + 2 * config_.drainGrace);
 }
@@ -108,6 +121,43 @@ CharacterizationRun::nodeLatencies() const
             {node->name(), node->latencySeries().summarize()});
     }
     return out;
+}
+
+std::vector<fault::FaultOutcome>
+CharacterizationRun::faultOutcomes() const
+{
+    if (!injector_)
+        return {};
+    std::vector<fault::FaultOutcome> out = injector_->outcomes();
+    recovery_->fill(out);
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+CharacterizationRun::resilienceCounters() const
+{
+    const stack::AutowareStack &s = *stack_;
+    double lidar_only = 0.0, coasts = 0.0, reseeds = 0.0;
+    double stale_events = 0.0, crash_discarded = 0.0;
+    if (const auto *fusion = s.fusion())
+        lidar_only = static_cast<double>(fusion->lidarOnlyCount());
+    if (const auto *tracker = s.trackerNode())
+        coasts = static_cast<double>(tracker->coastCount());
+    if (const auto *ndt = s.ndt())
+        reseeds = static_cast<double>(ndt->reseedCount());
+    if (const auto *wd = s.watchdog())
+        stale_events =
+            static_cast<double>(wd->totalStaleEvents());
+    for (const ros::Node *node : graph_->nodes()) {
+        for (const auto &sub : node->subscriptions())
+            crash_discarded += static_cast<double>(
+                sub->stats().crashDiscarded);
+    }
+    return {{"fusion_lidar_only", lidar_only},
+            {"tracker_coasts", coasts},
+            {"ndt_reseeds", reseeds},
+            {"watchdog_stale_events", stale_events},
+            {"crash_discarded", crash_discarded}};
 }
 
 const util::SampleSeries *

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/probes.hh"
+#include "fault/fault.hh"
 #include "ros/bag.hh"
 #include "stack/autoware_stack.hh"
 #include "world/map_builder.hh"
@@ -57,6 +58,12 @@ struct RunConfig
     stack::NodeCalibration calibration = stack::defaultCalibration();
     sim::Tick samplePeriod = sim::oneSec; ///< probe grain
     sim::Tick drainGrace = 3 * sim::oneSec; ///< run-out after bag end
+    /**
+     * Fault schedule to arm against this run; empty = clean replay.
+     * Folds into the experiment cache key, so a faulted run caches
+     * separately from the clean one.
+     */
+    fault::FaultPlan faults;
 };
 
 /** Per-node latency result. */
@@ -83,6 +90,7 @@ class CharacterizationRun
     const PathTracer &paths() const { return *tracer_; }
     const UtilizationMonitor &utilization() const { return *util_; }
     const PowerMonitor &power() const { return *power_; }
+    const StalenessMonitor &staleness() const { return *staleness_; }
 
     /**
      * The machine / middleware under test. The mutable overloads
@@ -118,6 +126,21 @@ class CharacterizationRun
     const util::SampleSeries *
     findNodeLatencySeries(const std::string &name) const;
 
+    /**
+     * Per-fault outcomes: transport counters from the injector
+     * merged with the recovery probe's measurements. Empty for a
+     * clean (fault-free) run.
+     */
+    std::vector<fault::FaultOutcome> faultOutcomes() const;
+
+    /**
+     * Degradation-response counters (LiDAR-only fusions, tracker
+     * coasts, NDT reseeds, watchdog stale events, crash-discarded
+     * messages). Fixed schema; zeros when degradation is off.
+     */
+    std::vector<std::pair<std::string, double>>
+    resilienceCounters() const;
+
   private:
     std::shared_ptr<const DriveData> drive_;
     RunConfig config_;
@@ -128,6 +151,9 @@ class CharacterizationRun
     std::unique_ptr<PathTracer> tracer_;
     std::unique_ptr<UtilizationMonitor> util_;
     std::unique_ptr<PowerMonitor> power_;
+    std::unique_ptr<StalenessMonitor> staleness_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<RecoveryProbe> recovery_;
     bool executed_ = false;
 };
 

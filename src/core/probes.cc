@@ -192,6 +192,82 @@ collectDrops(const ros::RosGraph &graph)
     return out;
 }
 
+StalenessMonitor::StalenessMonitor(ros::RosGraph &graph,
+                                   sim::Tick period,
+                                   std::vector<std::string> topics)
+    : eq_(graph.eventQueue()), period_(period),
+      task_(graph.eventQueue(), period,
+            [this](std::uint64_t) { sample(); })
+{
+    if (topics.empty()) {
+        namespace t = perception::topics;
+        topics = {t::ndtPose,      t::lidarObjects,
+                  t::imageObjects, t::fusedObjects,
+                  t::trackedObjects, t::objects, t::costmap};
+    }
+    for (const std::string &name : topics) {
+        ros::TopicBase *topic = graph.findTopic(name);
+        if (!topic)
+            continue;
+        rows_.emplace_back(name);
+        StalenessRow *row = &rows_.back();
+        topic->addHeaderTap([row](const ros::Header &header) {
+            row->lastStamp = header.stamp;
+            row->seen = true;
+        });
+    }
+}
+
+void
+StalenessMonitor::sample()
+{
+    const sim::Tick now = eq_.now();
+    for (StalenessRow &row : rows_) {
+        if (!row.seen)
+            continue;
+        row.ageMs.add(sim::ticksToMs(now - row.lastStamp));
+    }
+}
+
+RecoveryProbe::RecoveryProbe(ros::RosGraph &graph,
+                             const fault::FaultPlan &plan)
+{
+    for (const fault::FaultSpec &spec : plan.faults) {
+        Record rec;
+        rec.watchTopic = spec.watchTopic.empty()
+                             ? fault::defaultWatchTopic(spec)
+                             : spec.watchTopic;
+        rec.onset = spec.start;
+        rec.windowEnd = fault::faultWindowEnd(spec);
+        records_.push_back(std::move(rec));
+        Record *state = &records_.back();
+        ros::TopicBase *topic = graph.findTopic(state->watchTopic);
+        if (!topic)
+            continue; // watch topic absent: recoveryMs stays -1
+        topic->addHeaderTap([state](const ros::Header &header) {
+            if (header.stamp >= state->onset &&
+                header.stamp < state->windowEnd)
+                ++state->publishedDuringWindow;
+            if (header.stamp >= state->windowEnd &&
+                state->recoveryMs < 0.0)
+                state->recoveryMs = sim::ticksToMs(header.stamp -
+                                                   state->onset);
+        });
+    }
+}
+
+void
+RecoveryProbe::fill(std::vector<fault::FaultOutcome> &outcomes) const
+{
+    AV_ASSERT(outcomes.size() == records_.size(),
+              "recovery probe / injector plan mismatch");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        outcomes[i].publishedDuringWindow =
+            records_[i].publishedDuringWindow;
+        outcomes[i].recoveryMs = records_[i].recoveryMs;
+    }
+}
+
 std::vector<CounterRow>
 collectCounters(
     const std::vector<perception::PerceptionNode *> &nodes)

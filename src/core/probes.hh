@@ -17,10 +17,12 @@
 #ifndef AVSCOPE_CORE_PROBES_HH
 #define AVSCOPE_CORE_PROBES_HH
 
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "perception/nodes.hh"
 #include "ros/ros.hh"
 #include "sim/periodic.hh"
@@ -177,6 +179,83 @@ struct CounterRow
 /** Harvest µarch counters from the stack's nodes. */
 std::vector<CounterRow>
 collectCounters(const std::vector<perception::PerceptionNode *> &nodes);
+
+/** One watched topic's publication-age distribution. */
+struct StalenessRow
+{
+    std::string topic;
+    util::SampleSeries ageMs; ///< sampled now - lastStamp, in ms
+    sim::Tick lastStamp = 0;
+    bool seen = false;
+
+    explicit StalenessRow(std::string name)
+        : topic(std::move(name)), ageMs(1u << 12)
+    {}
+};
+
+/**
+ * Samples the age of each watched topic's newest publication on a
+ * fixed period — the distribution a health monitor would alarm on.
+ * Topics are sampled only after their first publication, so a
+ * disabled subsystem reads as absent, not stale.
+ */
+class StalenessMonitor
+{
+  public:
+    /**
+     * @param topics watched topic names; empty selects the standard
+     *        inter-node set (poses, detections, tracks, costmap)
+     */
+    StalenessMonitor(ros::RosGraph &graph,
+                     sim::Tick period = 100 * sim::oneMs,
+                     std::vector<std::string> topics = {});
+
+    void start() { task_.start(period_); }
+    void stop() { task_.stop(); }
+
+    const std::deque<StalenessRow> &rows() const { return rows_; }
+
+  private:
+    void sample();
+
+    sim::EventQueue &eq_;
+    sim::Tick period_;
+    /** deque: taps capture pointers into it. */
+    std::deque<StalenessRow> rows_;
+    sim::PeriodicTask task_;
+};
+
+/**
+ * Measures the recovery behaviour of every fault in a plan: how many
+ * watch-topic publications landed inside the fault window (did the
+ * degradation path keep the stack alive?) and how long after onset
+ * the first post-window publication appeared (how fast did the stack
+ * recover?). Construct after the stack, before execute().
+ */
+class RecoveryProbe
+{
+  public:
+    RecoveryProbe(ros::RosGraph &graph,
+                  const fault::FaultPlan &plan);
+
+    /** One record per plan fault, in plan order. */
+    struct Record
+    {
+        std::string watchTopic;
+        sim::Tick onset = 0;
+        sim::Tick windowEnd = 0;
+        std::uint64_t publishedDuringWindow = 0;
+        double recoveryMs = -1.0; ///< onset -> first post-window pub
+    };
+
+    const std::deque<Record> &records() const { return records_; }
+
+    /** Fold this probe's measurements into injector outcomes. */
+    void fill(std::vector<fault::FaultOutcome> &outcomes) const;
+
+  private:
+    std::deque<Record> records_; ///< taps capture pointers into it
+};
 
 } // namespace av::prof
 

@@ -95,6 +95,12 @@ RunResult::gpuSecondsOf(const std::string &owner) const
     return secondsOf(gpuSecondsByOwner, owner);
 }
 
+double
+RunResult::resilienceOf(const std::string &name) const
+{
+    return secondsOf(resilience, name);
+}
+
 RunResult
 snapshotRun(const CharacterizationRun &run, std::string label)
 {
@@ -141,6 +147,11 @@ snapshotRun(const CharacterizationRun &run, std::string label)
     out.gpuSecondsByOwner.assign(
         gpu_acct.activeSecondsByOwner.begin(),
         gpu_acct.activeSecondsByOwner.end());
+
+    out.faults = run.faultOutcomes();
+    for (const StalenessRow &row : run.staleness().rows())
+        out.staleness.push_back({row.topic, row.ageMs});
+    out.resilience = run.resilienceCounters();
     return out;
 }
 

@@ -66,6 +66,18 @@ struct RunResult
     std::vector<std::pair<std::string, double>> cpuSecondsByOwner;
     std::vector<std::pair<std::string, double>> gpuSecondsByOwner;
 
+    /** Per-fault outcomes; empty for a clean run. */
+    std::vector<fault::FaultOutcome> faults;
+
+    /** Per-topic publication-age distributions (staleness probe). */
+    std::vector<NamedSeries> staleness;
+
+    /** Degradation-response counters (fixed schema). */
+    std::vector<std::pair<std::string, double>> resilience;
+
+    /** Resilience counter by name; 0 when unknown. */
+    double resilienceOf(const std::string &name) const;
+
     /**
      * Latency series of one node; nullptr when the node was absent
      * (disabled stack section or misspelled name). The costmap's two

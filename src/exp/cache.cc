@@ -80,6 +80,20 @@ getF(std::istream &is, double &out)
     return (is >> token) && decF(token, out);
 }
 
+/**
+ * Read an element count, rejecting anything implausibly large: a
+ * corrupted count field must make the entry a cache miss, not drive
+ * a multi-gigabyte resize(). Real entries stay far below the bound
+ * (a run has ~10 nodes and series keep at most a few thousand
+ * samples).
+ */
+bool
+getCount(std::istream &is, std::size_t &out)
+{
+    constexpr std::size_t kMaxCount = 1u << 20;
+    return (is >> out) && out <= kMaxCount;
+}
+
 bool
 getStats(std::istream &is, util::RunningStats &out)
 {
@@ -103,7 +117,7 @@ getSeries(std::istream &is, prof::NamedSeries &out)
         !getF(is, s.min) || !getF(is, s.max))
         return false;
     std::size_t kept = 0;
-    if (!(is >> kept))
+    if (!getCount(is, kept))
         return false;
     std::vector<double> samples(kept);
     for (std::size_t i = 0; i < kept; ++i)
@@ -123,7 +137,7 @@ expect(std::istream &is, const char *word)
 }
 
 constexpr const char *kMagic = "avscope-result";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 
 void
 serialize(std::ostream &os, const prof::RunResult &run)
@@ -181,6 +195,26 @@ serialize(std::ostream &os, const prof::RunResult &run)
     os << "gpuowners " << run.gpuSecondsByOwner.size() << '\n';
     for (const auto &[owner, seconds] : run.gpuSecondsByOwner)
         os << owner << ' ' << encF(seconds) << '\n';
+
+    os << "staleness " << run.staleness.size() << '\n';
+    for (const prof::NamedSeries &row : run.staleness)
+        putSeries(os, row.name, row.series);
+
+    os << "resilience " << run.resilience.size() << '\n';
+    for (const auto &[name, value] : run.resilience)
+        os << name << ' ' << encF(value) << '\n';
+
+    // Every fault field is token-safe: labels, kind names and topic
+    // names carry no whitespace by construction.
+    os << "faults " << run.faults.size() << '\n';
+    for (const fault::FaultOutcome &row : run.faults) {
+        os << row.label << ' ' << fault::faultKindName(row.kind)
+           << ' ' << row.onset << ' ' << row.windowEnd << ' '
+           << row.watchTopic << ' ' << row.publishedDuringWindow
+           << ' ' << encF(row.recoveryMs) << ' ' << row.suppressed
+           << ' ' << row.corrupted << ' ' << row.duplicated << ' '
+           << row.delayed << '\n';
+    }
     os << "end\n";
 }
 
@@ -201,21 +235,21 @@ parse(std::istream &is, prof::RunResult &run)
         run.label.erase(0, 1);
 
     std::size_t count = 0;
-    if (!expect(is, "nodes") || !(is >> count))
+    if (!expect(is, "nodes") || !getCount(is, count))
         return false;
     run.nodes.resize(count);
     for (prof::NamedSeries &row : run.nodes)
         if (!getSeries(is, row))
             return false;
 
-    if (!expect(is, "paths") || !(is >> count))
+    if (!expect(is, "paths") || !getCount(is, count))
         return false;
     run.paths.resize(count);
     for (prof::NamedSeries &row : run.paths)
         if (!getSeries(is, row))
             return false;
 
-    if (!expect(is, "drops") || !(is >> count))
+    if (!expect(is, "drops") || !getCount(is, count))
         return false;
     run.drops.resize(count);
     for (prof::DropRow &row : run.drops)
@@ -223,7 +257,7 @@ parse(std::istream &is, prof::RunResult &run)
               row.dropped))
             return false;
 
-    if (!expect(is, "counters") || !(is >> count))
+    if (!expect(is, "counters") || !getCount(is, count))
         return false;
     run.counters.resize(count);
     for (prof::CounterRow &row : run.counters) {
@@ -239,7 +273,7 @@ parse(std::istream &is, prof::RunResult &run)
             return false;
     }
 
-    if (!expect(is, "utilization") || !(is >> count))
+    if (!expect(is, "utilization") || !getCount(is, count))
         return false;
     run.utilization.resize(count);
     for (prof::UtilizationResult &row : run.utilization) {
@@ -259,18 +293,51 @@ parse(std::istream &is, prof::RunResult &run)
         !getF(is, run.gpuEnergyJ))
         return false;
 
-    if (!expect(is, "cpuowners") || !(is >> count))
+    if (!expect(is, "cpuowners") || !getCount(is, count))
         return false;
     run.cpuSecondsByOwner.resize(count);
     for (auto &[owner, seconds] : run.cpuSecondsByOwner)
         if (!(is >> owner) || !getF(is, seconds))
             return false;
-    if (!expect(is, "gpuowners") || !(is >> count))
+    if (!expect(is, "gpuowners") || !getCount(is, count))
         return false;
     run.gpuSecondsByOwner.resize(count);
     for (auto &[owner, seconds] : run.gpuSecondsByOwner)
         if (!(is >> owner) || !getF(is, seconds))
             return false;
+
+    if (!expect(is, "staleness") || !getCount(is, count))
+        return false;
+    run.staleness.resize(count);
+    for (prof::NamedSeries &row : run.staleness)
+        if (!getSeries(is, row))
+            return false;
+
+    if (!expect(is, "resilience") || !getCount(is, count))
+        return false;
+    run.resilience.resize(count);
+    for (auto &[name, value] : run.resilience)
+        if (!(is >> name) || !getF(is, value))
+            return false;
+
+    if (!expect(is, "faults") || !getCount(is, count))
+        return false;
+    run.faults.resize(count);
+    for (fault::FaultOutcome &row : run.faults) {
+        std::string kind;
+        if (!(is >> row.label >> kind))
+            return false;
+        if (!fault::faultKindFromName(kind, row.kind))
+            return false;
+        if (!(is >> row.onset >> row.windowEnd >> row.watchTopic >>
+              row.publishedDuringWindow))
+            return false;
+        if (!getF(is, row.recoveryMs))
+            return false;
+        if (!(is >> row.suppressed >> row.corrupted >>
+              row.duplicated >> row.delayed))
+            return false;
+    }
 
     return expect(is, "end");
 }

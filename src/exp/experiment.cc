@@ -74,6 +74,19 @@ fold(Hasher &h, const world::RecorderConfig &c)
 }
 
 void
+fold(Hasher &h, const stack::DegradationOptions &c)
+{
+    h.tag("degradation");
+    h.boolean(c.enabled);
+    h.u64(c.visionStaleAfter);
+    h.u64(c.trackerCoastAfter);
+    h.u64(c.trackerCoastPeriod);
+    h.u64(c.ndtReseedAfter);
+    h.u64(c.watchdogPeriod);
+    h.u64(c.watchdogStaleAfter);
+}
+
+void
 fold(Hasher &h, const stack::StackOptions &c)
 {
     h.tag("stack");
@@ -84,6 +97,27 @@ fold(Hasher &h, const stack::StackOptions &c)
     h.boolean(c.enableTracking);
     h.boolean(c.enableCostmap);
     h.boolean(c.clusterOnGpu);
+    fold(h, c.degradation);
+}
+
+void
+fold(Hasher &h, const fault::FaultPlan &plan)
+{
+    h.tag("faults");
+    h.u64(plan.seed);
+    h.u64(plan.faults.size());
+    for (const fault::FaultSpec &spec : plan.faults) {
+        h.tag("fault");
+        h.u64(static_cast<std::uint64_t>(spec.kind));
+        h.u64(spec.start);
+        h.u64(spec.duration);
+        h.tag(spec.target.c_str());
+        h.f64(spec.probability);
+        h.f64(spec.factor);
+        h.u64(spec.extraDelay);
+        h.u64(spec.respawnDelay);
+        h.tag(spec.watchTopic.c_str());
+    }
 }
 
 void
@@ -188,7 +222,7 @@ cacheKey(const ExperimentSpec &spec)
     // Format version: bump whenever the key encoding, the RunConfig
     // field set or the result file format changes, so stale cache
     // entries miss instead of misloading.
-    h.tag("avscope-exp-v1");
+    h.tag("avscope-exp-v2");
     foldDrive(h, spec);
     fold(h, spec.config.stack);
     fold(h, spec.config.machine);
@@ -197,6 +231,7 @@ cacheKey(const ExperimentSpec &spec)
     h.tag("probes");
     h.u64(spec.config.samplePeriod);
     h.u64(spec.config.drainGrace);
+    fold(h, spec.config.faults);
     return hex16(h.value());
 }
 

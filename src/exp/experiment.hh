@@ -104,6 +104,21 @@ struct ExperimentSpec
         config.stack.enableCostmap = false;
         return *this;
     }
+
+    /** Arm a fault schedule against the replay (cache-key salted). */
+    ExperimentSpec &faults(const fault::FaultPlan &plan)
+    {
+        config.faults = plan;
+        return *this;
+    }
+
+    /** Enable the graceful-degradation responses (watchdog, LiDAR-
+     *  only fusion fallback, tracker coasting, NDT reseeding). */
+    ExperimentSpec &degraded()
+    {
+        config.stack.degradation.enabled = true;
+        return *this;
+    }
 };
 
 /** Fresh spec with calibrated defaults. */

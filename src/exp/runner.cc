@@ -36,7 +36,7 @@ Runner::submit(ExperimentSpec spec)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         id = queue_.size();
-        queue_.push_back(Job{std::move(spec), {}, false});
+        queue_.push_back(Job{std::move(spec), {}, nullptr, false});
         pending_.push_back(id);
     }
     workReady_.notify_one();
@@ -50,6 +50,8 @@ Runner::result(std::size_t id)
     AV_ASSERT(id < queue_.size(), "unknown job id ", id);
     Job &job = queue_[id];
     jobDone_.wait(lock, [&job] { return job.done; });
+    if (job.error)
+        std::rethrow_exception(job.error);
     return job.result;
 }
 
@@ -86,7 +88,14 @@ Runner::workerLoop()
             job = &queue_[pending_.front()];
             pending_.pop_front();
         }
-        runJob(*job);
+        // A throwing experiment must not kill the worker (losing the
+        // pool slot) or leave its waiter blocked forever: capture the
+        // exception, mark the job done and let result() rethrow it.
+        try {
+            runJob(*job);
+        } catch (...) {
+            job->error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             job->done = true;
@@ -146,8 +155,15 @@ Runner::driveFor(const ExperimentSpec &spec)
         util::inform("recording drive ", key, " (",
                      sim::ticksToSeconds(spec.driveDuration),
                      " s)");
-        promise.set_value(prof::makeDrive(
-            spec.scenario, spec.driveDuration, spec.recorder));
+        // A failed recording must reach every job sharing this drive,
+        // not just the recorder: publish the exception through the
+        // memo so no waiter blocks on a promise that never resolves.
+        try {
+            promise.set_value(prof::makeDrive(
+                spec.scenario, spec.driveDuration, spec.recorder));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
     }
     return future.get();
 }

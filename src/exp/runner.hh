@@ -63,11 +63,17 @@ class Runner
 
     /**
      * Result of job @p id; blocks until it is finished. The
-     * reference stays valid for the Runner's lifetime.
+     * reference stays valid for the Runner's lifetime. If the
+     * experiment threw on its worker (e.g. a FaultPlan naming an
+     * unknown node), the exception is rethrown here — a failed job
+     * never deadlocks its waiter or leaks its worker slot.
      */
     const prof::RunResult &result(std::size_t id);
 
-    /** All results so far, in submit order; blocks until done. */
+    /**
+     * All results so far, in submit order; blocks until done.
+     * Rethrows the first failed job's exception, like result().
+     */
     std::vector<const prof::RunResult *> collect();
 
     /** Worker threads actually running. */
@@ -84,6 +90,8 @@ class Runner
     {
         ExperimentSpec spec;
         prof::RunResult result;
+        /** Set instead of result when the replay threw. */
+        std::exception_ptr error;
         bool done = false;
     };
 

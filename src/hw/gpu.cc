@@ -13,13 +13,23 @@ GpuModel::GpuModel(sim::EventQueue &eq, const GpuConfig &config)
     AV_ASSERT(config_.pcieGBs > 0.0, "PCIe bandwidth must be positive");
 }
 
+void
+GpuModel::setThrottleFactor(double factor)
+{
+    AV_ASSERT(factor > 0.0 && factor <= 1.0,
+              "throttle factor must be in (0, 1]");
+    throttle_ = factor;
+}
+
 sim::Tick
 GpuModel::kernelDuration(const GpuKernel &kernel) const
 {
     // Roofline: bounded by compute or by device memory bandwidth.
+    // A thermal throttle scales both rails, like a core+memory
+    // clock-down on a real card.
     const double flops_per_ns =
-        config_.tflops * 1e3 * config_.computeEfficiency;
-    const double bytes_per_ns = config_.memBandwidthGBs;
+        config_.tflops * 1e3 * config_.computeEfficiency * throttle_;
+    const double bytes_per_ns = config_.memBandwidthGBs * throttle_;
     const double compute_ns = kernel.flops / flops_per_ns;
     const double memory_ns = kernel.bytes / bytes_per_ns;
     const double ns = std::max(compute_ns, memory_ns);

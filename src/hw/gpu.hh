@@ -99,6 +99,15 @@ class GpuModel
     /** True when the compute engine is executing a kernel. */
     bool computeBusy() const { return computeBusy_; }
 
+    /**
+     * Thermal-throttle factor in (0, 1]: compute and memory rates
+     * scale by it. Applies to kernels *starting* while it is set —
+     * a kernel in flight finishes at the rate it started with, like
+     * a real DVFS transition quantized to kernel boundaries.
+     */
+    void setThrottleFactor(double factor);
+    double throttleFactor() const { return throttle_; }
+
     /** Jobs somewhere in the pipeline (queued or in flight). */
     std::size_t inFlight() const { return inFlight_; }
 
@@ -118,6 +127,7 @@ class GpuModel
     GpuAccounting acct_;
     bool computeBusy_ = false;
     bool copyBusy_ = false;
+    double throttle_ = 1.0;
     std::size_t inFlight_ = 0;
 
     /** Compute-queue entry: one kernel of one job. */

@@ -498,7 +498,29 @@ ImmUkfPdaTracker::update(const ObjectList &detections, sim::Tick t,
             tracks_.push_back(makeTrack(detections.objects[di]));
     }
 
-    // Emit confirmed tracks.
+    return emitConfirmed();
+}
+
+ObjectList
+ImmUkfPdaTracker::coast(sim::Tick t, uarch::KernelProfiler prof)
+{
+    if (first_)
+        return ObjectList{};
+    const double dt =
+        std::max(1e-3, sim::ticksToSeconds(t - lastUpdate_));
+    lastUpdate_ = t;
+    // Prediction only: no association, no hit/miss bookkeeping, so
+    // a detector outage does not strip the track table.
+    for (InternalTrack &track : tracks_) {
+        predictTrack(track, dt, prof);
+        combineEstimate(track);
+    }
+    return emitConfirmed();
+}
+
+ObjectList
+ImmUkfPdaTracker::emitConfirmed() const
+{
     ObjectList out;
     for (const InternalTrack &track : tracks_) {
         if (!track.pub.confirmed)

@@ -79,6 +79,15 @@ class ImmUkfPdaTracker
                       uarch::KernelProfiler prof =
                           uarch::KernelProfiler());
 
+    /**
+     * Predict-only step through a detection gap: advance every track
+     * to time @p t and emit the confirmed ones, without counting
+     * misses or dropping tracks — the graceful-degradation path that
+     * keeps downstream consumers fed while the detector is dark.
+     */
+    ObjectList coast(sim::Tick t, uarch::KernelProfiler prof =
+                                      uarch::KernelProfiler());
+
     /** Snapshot of the current tracks (public view). */
     std::vector<Track> tracks() const;
     std::size_t confirmedCount() const;
@@ -117,6 +126,7 @@ class ImmUkfPdaTracker
                    uarch::KernelProfiler &prof);
     void combineEstimate(InternalTrack &track);
     InternalTrack makeTrack(const DetectedObject &detection);
+    ObjectList emitConfirmed() const;
 };
 
 } // namespace av::perception

@@ -52,9 +52,10 @@ NdtMatchingNode::NdtMatchingNode(ros::RosGraph &graph,
                                  const NodeConfig &config,
                                  const pc::PointCloud &map,
                                  std::optional<geom::Pose2> initial_pose,
-                                 const NdtConfig &ndt)
+                                 const NdtConfig &ndt,
+                                 sim::Tick reseed_after)
     : PerceptionNode(graph, "ndt_matching", config), matcher_(ndt),
-      initialPose_(initial_pose),
+      initialPose_(initial_pose), reseedAfter_(reseed_after),
       pub_(graph.advertise<PoseEstimate>(topics::ndtPose))
 {
     matcher_.setMap(map);
@@ -65,6 +66,7 @@ NdtMatchingNode::NdtMatchingNode(ros::RosGraph &graph,
                std::function<void()> done) {
             if (!gnssInit_)
                 gnssInit_ = msg.data.position;
+            lastGnss_ = msg.data.position;
             done();
         });
 
@@ -90,7 +92,20 @@ NdtMatchingNode::NdtMatchingNode(ros::RosGraph &graph,
             // so NDT needs a guess within its narrow basin (paper
             // SII-A: the IMU anticipates the next position).
             geom::Pose2 guess;
-            if (lastPose_ && imu_) {
+            const bool reseed =
+                reseedAfter_ > 0 && lastPose_ && lastGnss_ &&
+                msg.header.stamp - lastStamp_ > reseedAfter_;
+            if (reseed) {
+                // Localization dropout: a dead-reckoned guess this
+                // old is outside NDT's convergence basin. Reseed the
+                // translation from GNSS, keep the last good heading,
+                // and forget the stale velocity estimate.
+                guess.p = {lastGnss_->x, lastGnss_->y};
+                guess.yaw = lastPose_->yaw;
+                velocity_ = {};
+                yawRate_ = 0.0;
+                ++reseeds_;
+            } else if (lastPose_ && imu_) {
                 const double dt = sim::ticksToSeconds(
                     msg.header.stamp - lastStamp_);
                 const double yaw = geom::normalizeAngle(
@@ -354,9 +369,10 @@ VisionDetectorNode::VisionDetectorNode(
 
 RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
                                              const NodeConfig &config,
-                                             const FusionConfig &fusion)
+                                             const FusionConfig &fusion,
+                                             sim::Tick vision_stale_after)
     : PerceptionNode(graph, "range_vision_fusion", config),
-      fusion_(fusion),
+      fusion_(fusion), visionStaleAfter_(vision_stale_after),
       pub_(graph.advertise<ObjectList>(topics::fusedObjects))
 {
     subscribe<PoseEstimate>(
@@ -372,18 +388,49 @@ RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
     // cluster list therefore ages up to one camera period before it
     // reaches the tracker — a real contributor to the LiDAR object
     // path's end-to-end latency (paper Fig. 6).
+    //
+    // Degradation: with visionStaleAfter_ set, a cluster list
+    // arriving while the image detections are older than the
+    // threshold is published LiDAR-only instead of parking in the
+    // cache — a camera blackout must not starve the tracker.
     subscribe<ObjectList>(
         topics::lidarObjects, 2,
         [this](const ros::Stamped<ObjectList> &msg,
                std::function<void()> done) {
             lastLidar_ = msg;
-            done();
+            const sim::Tick now = this->graph().eventQueue().now();
+            const bool vision_stale =
+                visionStaleAfter_ > 0 &&
+                (!sawVision_ ||
+                 now - lastVisionStamp_ > visionStaleAfter_);
+            if (!vision_stale) {
+                done();
+                return;
+            }
+            beginWork();
+            const geom::Pose2 ego =
+                pose_ ? geom::Pose2{pose_->position, pose_->yaw}
+                      : geom::Pose2{};
+            static const ObjectList no_vision;
+            auto fused = share(fuseObjects(msg.data, no_vision, ego,
+                                           fusion_, profiler()));
+            ++lidarOnly_;
+            const ros::Header header = deriveHeader(msg.header);
+            const auto arrival = now;
+            finishWorkOnCpu([this, fused, header, arrival,
+                             done = std::move(done)] {
+                recordLatency(arrival);
+                pub_.publish(header, *fused, fused->byteSize());
+                done();
+            });
         });
 
     subscribe<ObjectList>(
         topics::imageObjects, 2,
         [this](const ros::Stamped<ObjectList> &msg,
                std::function<void()> done) {
+            sawVision_ = true;
+            lastVisionStamp_ = msg.header.stamp;
             beginWork();
             const geom::Pose2 ego =
                 pose_ ? geom::Pose2{pose_->position, pose_->yaw}
@@ -416,15 +463,20 @@ RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
 
 ImmUkfPdaNode::ImmUkfPdaNode(ros::RosGraph &graph,
                              const NodeConfig &config,
-                             const TrackerConfig &tracker)
+                             const TrackerConfig &tracker,
+                             sim::Tick coast_after,
+                             sim::Tick coast_period)
     : PerceptionNode(graph, "imm_ukf_pda_tracker", config),
-      tracker_(tracker),
+      tracker_(tracker), coastAfter_(coast_after),
       pub_(graph.advertise<ObjectList>(topics::trackedObjects))
 {
     subscribe<ObjectList>(
         topics::fusedObjects, 1,
         [this](const ros::Stamped<ObjectList> &msg,
                std::function<void()> done) {
+            sawFused_ = true;
+            lastFusedStamp_ = msg.header.stamp;
+            lastOrigins_ = msg.header.origins;
             beginWork();
             auto tracked = share(tracker_.update(
                 msg.data, msg.header.stamp, profiler()));
@@ -438,6 +490,33 @@ ImmUkfPdaNode::ImmUkfPdaNode(ros::RosGraph &graph,
                 done();
             });
         });
+
+    if (coast_after > 0 && coast_period > 0) {
+        coastTask_.emplace(graph.eventQueue(), coast_period,
+                           [this](std::uint64_t) { maybeCoast(); });
+        coastTask_->start(coast_period);
+    }
+}
+
+void
+ImmUkfPdaNode::maybeCoast()
+{
+    // Fires as its own event, never inside a message handler, so it
+    // cannot interleave with an update() in flight (busy() is the
+    // simulated-execution flag; the functional tracker state is
+    // consistent between events).
+    const sim::Tick now = graph().eventQueue().now();
+    if (down() || !sawFused_ || now - lastFusedStamp_ <= coastAfter_)
+        return;
+    if (tracker_.confirmedCount() == 0)
+        return;
+    auto coasted = share(tracker_.coast(now));
+    lastFusedStamp_ = now; // next coast after another full gap
+    ++coasts_;
+    ros::Header header;
+    header.stamp = now;
+    header.origins = lastOrigins_;
+    pub_.publish(header, *coasted, coasted->byteSize());
 }
 
 // ---------------------------------------------------------------- relay

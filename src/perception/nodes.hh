@@ -26,6 +26,7 @@
 #include "perception/ray_ground_filter.hh"
 #include "perception/vision_model.hh"
 #include "pointcloud/voxel_grid.hh"
+#include "sim/periodic.hh"
 #include "world/sensors.hh"
 
 namespace av::perception {
@@ -76,17 +77,25 @@ class NdtMatchingNode : public PerceptionNode
      * @param initial_pose operator-provided initial pose (Autoware's
      *        rviz "2D Pose Estimate"); when absent, initialization
      *        falls back to the first GNSS fix with yaw 0
+     * @param reseed_after after a localization gap longer than this,
+     *        the next alignment reseeds its guess from the latest
+     *        GNSS fix instead of dead-reckoning a stale pose
+     *        (0 disables — the seed-default behaviour)
      */
     NdtMatchingNode(ros::RosGraph &graph, const NodeConfig &config,
                     const pc::PointCloud &map,
                     std::optional<geom::Pose2> initial_pose = {},
-                    const NdtConfig &ndt = NdtConfig());
+                    const NdtConfig &ndt = NdtConfig(),
+                    sim::Tick reseed_after = 0);
 
     /** Latest pose estimate (for tests / examples). */
     const std::optional<PoseEstimate> &lastPose() const
     {
         return lastPose_;
     }
+
+    /** GNSS reseeds performed after localization dropouts. */
+    std::uint64_t reseedCount() const { return reseeds_; }
 
   private:
     NdtMatcher matcher_;
@@ -99,6 +108,9 @@ class NdtMatchingNode : public PerceptionNode
      *  where subsequent positions are likely to be). */
     std::optional<world::ImuSample> imu_;
     sim::Tick lastStamp_ = 0;
+    sim::Tick reseedAfter_ = 0;
+    std::optional<geom::Vec3> lastGnss_;
+    std::uint64_t reseeds_ = 0;
     ros::Publisher<PoseEstimate> pub_;
 };
 
@@ -169,15 +181,30 @@ class VisionDetectorNode : public PerceptionNode
 class RangeVisionFusionNode : public PerceptionNode
 {
   public:
+    /**
+     * @param vision_stale_after with a nonzero value, a LiDAR
+     *        cluster list arriving while the newest image objects
+     *        are older than this triggers a LiDAR-only publication
+     *        instead of waiting for vision — the fusion keeps the
+     *        tracker fed through a camera outage (0 disables)
+     */
     RangeVisionFusionNode(ros::RosGraph &graph,
                           const NodeConfig &config,
                           const FusionConfig &fusion =
-                              FusionConfig());
+                              FusionConfig(),
+                          sim::Tick vision_stale_after = 0);
+
+    /** LiDAR-only fallback publications (vision stale). */
+    std::uint64_t lidarOnlyCount() const { return lidarOnly_; }
 
   private:
     FusionConfig fusion_;
     std::optional<ros::Stamped<ObjectList>> lastLidar_;
     std::optional<PoseEstimate> pose_;
+    sim::Tick visionStaleAfter_ = 0;
+    sim::Tick lastVisionStamp_ = 0;
+    bool sawVision_ = false;
+    std::uint64_t lidarOnly_ = 0;
     ros::Publisher<ObjectList> pub_;
 };
 
@@ -187,13 +214,33 @@ class RangeVisionFusionNode : public PerceptionNode
 class ImmUkfPdaNode : public PerceptionNode
 {
   public:
+    /**
+     * @param coast_after with nonzero values, a periodic check (every
+     *        @p coast_period) publishes predict-only track estimates
+     *        whenever no fused detections arrived for longer than
+     *        @p coast_after — the tracker coasts through detection
+     *        gaps instead of going silent (0 disables)
+     */
     ImmUkfPdaNode(ros::RosGraph &graph, const NodeConfig &config,
-                  const TrackerConfig &tracker = TrackerConfig());
+                  const TrackerConfig &tracker = TrackerConfig(),
+                  sim::Tick coast_after = 0,
+                  sim::Tick coast_period = 0);
 
     const ImmUkfPdaTracker &tracker() const { return tracker_; }
 
+    /** Coast publications through detection gaps. */
+    std::uint64_t coastCount() const { return coasts_; }
+
   private:
+    void maybeCoast();
+
     ImmUkfPdaTracker tracker_;
+    sim::Tick coastAfter_ = 0;
+    sim::Tick lastFusedStamp_ = 0;
+    bool sawFused_ = false;
+    std::uint64_t coasts_ = 0;
+    ros::Origins lastOrigins_;
+    std::optional<sim::PeriodicTask> coastTask_;
     ros::Publisher<ObjectList> pub_;
 };
 

@@ -15,6 +15,31 @@ Origins::merged(const Origins &o) const
     return out;
 }
 
+void
+TransportFaults::addPolicy(const std::string &topic, Policy policy)
+{
+    policies_[topic].push_back(std::move(policy));
+}
+
+Disruption
+TransportFaults::disruptionFor(const std::string &topic,
+                               const Header &header,
+                               sim::Tick now) const
+{
+    Disruption out;
+    auto it = policies_.find(topic);
+    if (it == policies_.end())
+        return out;
+    for (const Policy &policy : it->second) {
+        const Disruption d = policy(header, now);
+        out.drop = out.drop || d.drop;
+        out.corrupt = out.corrupt || d.corrupt;
+        out.extraDelay += d.extraDelay;
+        out.duplicates += d.duplicates;
+    }
+    return out;
+}
+
 Node::Node(RosGraph &graph, std::string name)
     : graph_(graph), name_(std::move(name))
 {
@@ -27,9 +52,29 @@ Node::~Node()
 }
 
 void
+Node::crash()
+{
+    if (down_)
+        return;
+    down_ = true;
+    for (const auto &sub : subs_)
+        sub->clearPending();
+}
+
+void
+Node::respawn()
+{
+    if (!down_)
+        return;
+    down_ = false;
+    onRespawn();
+    tryDispatch();
+}
+
+void
 Node::tryDispatch()
 {
-    if (busy_)
+    if (busy_ || down_)
         return;
     SubscriptionBase *best = nullptr;
     for (const auto &sub : subs_) {
@@ -62,6 +107,23 @@ RosGraph::topics() const
     for (const auto &[name, topic] : topics_)
         out.push_back(topic.get());
     return out;
+}
+
+TopicBase *
+RosGraph::findTopic(const std::string &name)
+{
+    auto it = topics_.find(name);
+    return it == topics_.end() ? nullptr : it->second.get();
+}
+
+Node *
+RosGraph::findNode(const std::string &name)
+{
+    for (Node *n : nodes_) {
+        if (n->name() == name)
+            return n;
+    }
+    return nullptr;
 }
 
 void

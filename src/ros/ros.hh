@@ -95,6 +95,7 @@ struct SubscriptionStats
     std::uint64_t delivered = 0; ///< entered the queue
     std::uint64_t dropped = 0;   ///< overwritten before consumption
     std::uint64_t processed = 0; ///< handler invocations
+    std::uint64_t crashDiscarded = 0; ///< lost to a node crash window
 
     double dropRate() const
     {
@@ -102,6 +103,47 @@ struct SubscriptionStats
                                static_cast<double>(delivered)
                          : 0.0;
     }
+};
+
+/**
+ * What the transport does to one message on one topic. Policies are
+ * merged: any drop wins, any corrupt wins, delays add, duplicate
+ * counts add.
+ */
+struct Disruption
+{
+    bool drop = false;        ///< never leaves the publisher
+    bool corrupt = false;     ///< arrives, fails validation, discarded
+    sim::Tick extraDelay = 0; ///< added to the transport delay
+    unsigned duplicates = 0;  ///< extra deliveries of the same seq
+};
+
+/**
+ * Fault hub the injector installs transport policies into. Topics
+ * consult it on every publish; with no policy registered for a topic
+ * the publish path is byte-for-byte the unfaulted one.
+ */
+class TransportFaults
+{
+  public:
+    using Policy =
+        std::function<Disruption(const Header &, sim::Tick now)>;
+
+    /** Install @p policy for @p topic (stacked; all consulted). */
+    void addPolicy(const std::string &topic, Policy policy);
+
+    bool hasPoliciesFor(const std::string &topic) const
+    {
+        return policies_.count(topic) != 0;
+    }
+
+    /** Merge every policy's verdict for this publication. */
+    Disruption disruptionFor(const std::string &topic,
+                             const Header &header,
+                             sim::Tick now) const;
+
+  private:
+    std::map<std::string, std::vector<Policy>> policies_;
 };
 
 /** Type-erased subscription interface the Node dispatcher uses. */
@@ -121,6 +163,11 @@ class SubscriptionBase
      * call when the node's simulated execution finishes.
      */
     virtual void dispatchHead(std::function<void()> done) = 0;
+    /**
+     * Discard all queued messages (node crash). Returns the number
+     * discarded; they count as crashDiscarded, not dropped.
+     */
+    virtual std::size_t clearPending() = 0;
 
     const std::string &topicName() const { return topicName_; }
     const SubscriptionStats &stats() const { return stats_; }
@@ -144,6 +191,13 @@ class TopicBase
     std::uint64_t published() const { return published_; }
     virtual std::vector<const SubscriptionBase *> subscribers()
         const = 0;
+
+    /**
+     * Observe every publication's header synchronously, regardless
+     * of payload type (staleness probes, watchdogs).
+     */
+    virtual void addHeaderTap(
+        std::function<void(const Header &)> tap) = 0;
 
   protected:
     std::string name_;
@@ -195,12 +249,33 @@ class Node
     /** Called by subscriptions when new data arrives / node frees. */
     void tryDispatch();
 
+    /**
+     * Crash the node: queued inputs drain (counted as
+     * crashDiscarded), new deliveries are discarded, and no handler
+     * dispatches until respawn(). A handler already in flight runs to
+     * completion — the process dies, the simulated work it already
+     * scheduled does not un-happen.
+     */
+    void crash();
+
+    /** Restart after a crash: onRespawn() state reset, then resume. */
+    void respawn();
+
+    bool down() const { return down_; }
+
+    /**
+     * Node-local state reset hook invoked by respawn(). Override to
+     * model a fresh process image (cleared caches, lost tracks).
+     */
+    virtual void onRespawn() {}
+
   protected:
     friend class RosGraph;
     RosGraph &graph_;
     std::string name_;
     std::vector<std::unique_ptr<SubscriptionBase>> subs_;
     bool busy_ = false;
+    bool down_ = false;
 };
 
 /** Typed subscription with a drop-oldest bounded queue. */
@@ -220,6 +295,10 @@ class Subscription final : public SubscriptionBase
     void
     deliver(Stamped<T> msg, sim::Tick arrival)
     {
+        if (node_->down()) {
+            ++stats_.crashDiscarded;
+            return;
+        }
         msg.arrival = arrival;
         ++stats_.delivered;
         if (pending_.size() >= depth_) {
@@ -247,6 +326,15 @@ class Subscription final : public SubscriptionBase
         handler_(p.msg, std::move(done));
     }
 
+    std::size_t
+    clearPending() override
+    {
+        const std::size_t n = pending_.size();
+        stats_.crashDiscarded += n;
+        pending_.clear();
+        return n;
+    }
+
   private:
     struct Pending
     {
@@ -266,8 +354,10 @@ class Topic final : public TopicBase
     using Tap = std::function<void(const Message &)>;
 
     Topic(std::string name, sim::EventQueue &eq,
-          const TransportConfig &transport)
-        : TopicBase(std::move(name)), eq_(eq), transport_(transport)
+          const TransportConfig &transport,
+          const TransportFaults *faults = nullptr)
+        : TopicBase(std::move(name)), eq_(eq), transport_(transport),
+          faults_(faults)
     {}
 
     /** Register a subscriber (middleware-internal). */
@@ -282,9 +372,19 @@ class Topic final : public TopicBase
      */
     void addTap(Tap tap) { taps_.push_back(std::move(tap)); }
 
+    void
+    addHeaderTap(std::function<void(const Header &)> tap) override
+    {
+        addTap([tap = std::move(tap)](const Message &msg) {
+            tap(msg.header);
+        });
+    }
+
     /**
      * Publish. Subscribers receive the message after the transport
-     * delay for its size.
+     * delay for its size. Taps observe the publication even when a
+     * transport fault suppresses delivery — the publisher produced
+     * the message; the wire lost it.
      */
     void
     publish(Message msg)
@@ -292,16 +392,33 @@ class Topic final : public TopicBase
         msg.header.seq = published_++;
         for (const Tap &tap : taps_)
             tap(msg);
+        Disruption bad;
+        if (faults_ && faults_->hasPoliciesFor(name_))
+            bad = faults_->disruptionFor(name_, msg.header,
+                                         eq_.now());
+        if (bad.drop)
+            return;
         const double bytes = static_cast<double>(msg.bytes);
         const sim::Tick delay =
             transport_.baseLatency +
             static_cast<sim::Tick>(bytes /
-                                   transport_.bandwidthGBs);
+                                   transport_.bandwidthGBs) +
+            bad.extraDelay;
+        if (bad.corrupt) {
+            // The bytes cross the wire but fail validation at the
+            // receiver; schedule the arrival so event timing matches
+            // a real mangled frame, then discard.
+            eq_.scheduleAfter(delay, [] {});
+            return;
+        }
+        const unsigned copies = 1 + bad.duplicates;
         for (Subscription<T> *sub : subs_) {
-            eq_.scheduleAfter(delay, [this, sub, msg] {
-                Stamped<T> copy = msg;
-                sub->deliver(std::move(copy), eq_.now());
-            });
+            for (unsigned i = 0; i < copies; ++i) {
+                eq_.scheduleAfter(delay, [this, sub, msg] {
+                    Stamped<T> copy = msg;
+                    sub->deliver(std::move(copy), eq_.now());
+                });
+            }
         }
     }
 
@@ -317,6 +434,7 @@ class Topic final : public TopicBase
   private:
     sim::EventQueue &eq_;
     TransportConfig transport_;
+    const TransportFaults *faults_;
     std::vector<Subscription<T> *> subs_;
     std::vector<Tap> taps_;
 };
@@ -374,7 +492,7 @@ class RosGraph
         auto it = topics_.find(name);
         if (it == topics_.end()) {
             auto created = std::make_unique<Topic<T>>(
-                name, eventQueue(), transport_);
+                name, eventQueue(), transport_, &faults_);
             Topic<T> *raw = created.get();
             topics_.emplace(name, std::move(created));
             return *raw;
@@ -397,8 +515,17 @@ class RosGraph
     /** All topics, for reporting. */
     std::vector<const TopicBase *> topics() const;
 
+    /** The named topic if it exists (type-erased), else nullptr. */
+    TopicBase *findTopic(const std::string &name);
+
     /** All registered nodes. */
     const std::vector<Node *> &nodes() const { return nodes_; }
+
+    /** The named node if registered, else nullptr. */
+    Node *findNode(const std::string &name);
+
+    /** Transport-fault hub every topic of this graph consults. */
+    TransportFaults &faults() { return faults_; }
 
     void registerNode(Node *node);
     void unregisterNode(Node *node);
@@ -406,6 +533,7 @@ class RosGraph
   private:
     hw::Machine &machine_;
     TransportConfig transport_;
+    TransportFaults faults_;
     std::map<std::string, std::unique_ptr<TopicBase>> topics_;
     std::vector<Node *> nodes_;
 };

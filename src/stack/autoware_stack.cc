@@ -11,11 +11,24 @@ AutowareStack::AutowareStack(ros::RosGraph &graph,
 {
     using namespace perception;
 
+    // Degradation knobs collapse to 0 (= disabled inside the nodes)
+    // unless the study opted in, so seed runs replay unchanged.
+    const DegradationOptions &deg = options.degradation;
+    const sim::Tick reseed_after =
+        deg.enabled ? deg.ndtReseedAfter : 0;
+    const sim::Tick vision_stale_after =
+        deg.enabled ? deg.visionStaleAfter : 0;
+    const sim::Tick coast_after =
+        deg.enabled ? deg.trackerCoastAfter : 0;
+    const sim::Tick coast_period =
+        deg.enabled ? deg.trackerCoastPeriod : 0;
+
     if (options.enableLocalization) {
         voxel_ = std::make_unique<VoxelGridFilterNode>(
             graph, calibration.voxelGridFilter);
         ndt_ = std::make_unique<NdtMatchingNode>(
-            graph, calibration.ndtMatching, map, initial_pose);
+            graph, calibration.ndtMatching, map, initial_pose,
+            NdtConfig(), reseed_after);
     }
     if (options.enableLidarDetection) {
         rayGround_ = std::make_unique<RayGroundFilterNode>(
@@ -31,9 +44,11 @@ AutowareStack::AutowareStack(ros::RosGraph &graph,
     }
     if (options.enableTracking) {
         fusion_ = std::make_unique<RangeVisionFusionNode>(
-            graph, calibration.rangeVisionFusion);
+            graph, calibration.rangeVisionFusion, FusionConfig(),
+            vision_stale_after);
         tracker_ = std::make_unique<ImmUkfPdaNode>(
-            graph, calibration.immUkfPda);
+            graph, calibration.immUkfPda, TrackerConfig(),
+            coast_after, coast_period);
         relay_ = std::make_unique<TrackRelayNode>(
             graph, calibration.trackRelay);
         predict_ = std::make_unique<NaiveMotionPredictNode>(
@@ -42,6 +57,13 @@ AutowareStack::AutowareStack(ros::RosGraph &graph,
     if (options.enableCostmap) {
         costmap_ = std::make_unique<CostmapGeneratorNode>(
             graph, calibration.costmapGenerator);
+    }
+    if (deg.enabled) {
+        WatchdogConfig wd;
+        wd.period = deg.watchdogPeriod;
+        wd.staleAfter = deg.watchdogStaleAfter;
+        watchdog_ = std::make_unique<StackWatchdog>(graph, wd);
+        watchdog_->start();
     }
 
     const auto collect = [this](PerceptionNode *node) {

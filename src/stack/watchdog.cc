@@ -1,0 +1,77 @@
+#include "stack/watchdog.hh"
+
+#include "perception/nodes.hh"
+
+namespace av::stack {
+
+std::vector<std::string>
+StackWatchdog::defaultTopics()
+{
+    namespace t = perception::topics;
+    return {t::ndtPose,        t::lidarObjects, t::imageObjects,
+            t::fusedObjects,   t::trackedObjects, t::objects,
+            t::costmap};
+}
+
+StackWatchdog::StackWatchdog(ros::RosGraph &graph,
+                             const WatchdogConfig &config,
+                             std::vector<std::string> topics)
+    : ros::Node(graph, "stack_watchdog"), config_(config),
+      task_(graph.eventQueue(), config.period,
+            [this](std::uint64_t) { sample(); })
+{
+    if (topics.empty())
+        topics = defaultTopics();
+    // Reserve up front: taps capture pointers into watched_.
+    watched_.reserve(topics.size());
+    for (const std::string &name : topics) {
+        ros::TopicBase *topic = graph.findTopic(name);
+        if (!topic)
+            continue; // subsystem disabled; nothing to watch
+        watched_.push_back(WatchedTopic{name, 0, false, false, 0});
+        WatchedTopic *state = &watched_.back();
+        topic->addHeaderTap([state](const ros::Header &header) {
+            state->lastStamp = header.stamp;
+            state->seen = true;
+        });
+    }
+}
+
+void
+StackWatchdog::start()
+{
+    task_.start(config_.period);
+}
+
+void
+StackWatchdog::stop()
+{
+    task_.stop();
+}
+
+void
+StackWatchdog::sample()
+{
+    if (down())
+        return;
+    const sim::Tick now = graph().eventQueue().now();
+    for (WatchedTopic &w : watched_) {
+        if (!w.seen)
+            continue; // silence before first publication ≠ outage
+        const bool stale_now = now - w.lastStamp > config_.staleAfter;
+        if (stale_now && !w.stale)
+            ++w.staleEvents;
+        w.stale = stale_now;
+    }
+}
+
+std::uint64_t
+StackWatchdog::totalStaleEvents() const
+{
+    std::uint64_t total = 0;
+    for (const WatchedTopic &w : watched_)
+        total += w.staleEvents;
+    return total;
+}
+
+} // namespace av::stack

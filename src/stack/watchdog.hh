@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Stack watchdog: detects stale topics from header timestamps.
+ *
+ * A real AV safety monitor (Autoware's health checker, the paper's
+ * deadline framing in §IV) watches for pipeline stages going silent.
+ * This node taps the key inter-node topics, samples their publication
+ * age on a fixed period, and counts *stale transitions* — a topic that
+ * was flowing and then exceeded the stale threshold. Degradation
+ * responses elsewhere in the stack (LiDAR-only fusion, tracker
+ * coasting, NDT reseeding) are the reactions; the watchdog is the
+ * detector and the metric source.
+ */
+
+#ifndef AVSCOPE_STACK_WATCHDOG_HH
+#define AVSCOPE_STACK_WATCHDOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ros/ros.hh"
+#include "sim/periodic.hh"
+
+namespace av::stack {
+
+/** Watchdog tuning. */
+struct WatchdogConfig
+{
+    sim::Tick period = 100 * sim::oneMs;     ///< sampling interval
+    sim::Tick staleAfter = 500 * sim::oneMs; ///< silence threshold
+};
+
+/** Per-topic watchdog state (reporting view). */
+struct WatchedTopic
+{
+    std::string topic;
+    sim::Tick lastStamp = 0;        ///< latest publication stamp
+    bool seen = false;              ///< published at least once
+    bool stale = false;             ///< currently beyond threshold
+    std::uint64_t staleEvents = 0;  ///< fresh->stale transitions
+};
+
+/**
+ * The watchdog node. Construct after the stack so the watched topics
+ * exist; topics absent from the graph (disabled subsystems) are
+ * skipped. Registered as a node so it is visible in the graph — and
+ * crashable like everything else.
+ */
+class StackWatchdog : public ros::Node
+{
+  public:
+    /**
+     * @param topics topic names to watch; empty selects the default
+     *        inter-node set (poses, detections, tracks, costmap)
+     */
+    StackWatchdog(ros::RosGraph &graph,
+                  const WatchdogConfig &config = WatchdogConfig(),
+                  std::vector<std::string> topics = {});
+
+    /** The default watched-topic set. */
+    static std::vector<std::string> defaultTopics();
+
+    void start();
+    void stop();
+
+    /** Per-topic state, in construction order. */
+    const std::vector<WatchedTopic> &watched() const
+    {
+        return watched_;
+    }
+
+    /** Total fresh->stale transitions across all topics. */
+    std::uint64_t totalStaleEvents() const;
+
+  private:
+    void sample();
+
+    WatchdogConfig config_;
+    std::vector<WatchedTopic> watched_;
+    sim::PeriodicTask task_;
+};
+
+} // namespace av::stack
+
+#endif // AVSCOPE_STACK_WATCHDOG_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/logging.hh"
 #include "world/recorder.hh"
 
 namespace av::world {
@@ -54,6 +55,33 @@ readHeader(std::istream &is, ros::Header &h, std::uint64_t &bytes)
            readRaw(is, h.origins.camera) && readRaw(is, bytes);
 }
 
+/** Bytes between the read cursor and end-of-file. */
+std::uint64_t
+remainingBytes(std::istream &is)
+{
+    const std::istream::pos_type here = is.tellg();
+    if (here == std::istream::pos_type(-1))
+        return 0;
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end == std::istream::pos_type(-1) || end < here)
+        return 0;
+    return static_cast<std::uint64_t>(end - here);
+}
+
+/**
+ * Guard a record count read from the file against the bytes that
+ * actually remain: a truncated or bit-flipped count field must fail
+ * the load, not drive a multi-gigabyte resize().
+ */
+bool
+plausibleCount(std::istream &is, std::uint64_t count,
+               std::uint64_t min_record_bytes)
+{
+    return count <= remainingBytes(is) / min_record_bytes;
+}
+
 void
 writePointCloud(std::ostream &os,
                 const ros::Stamped<pc::PointCloud> &msg)
@@ -80,6 +108,10 @@ readPointCloud(std::istream &is, ros::Stamped<pc::PointCloud> &msg)
     msg.bytes = static_cast<std::size_t>(bytes);
     std::uint32_t count = 0;
     if (!readRaw(is, msg.data.stampNs) || !readRaw(is, count))
+        return false;
+    constexpr std::uint64_t point_bytes =
+        4 * sizeof(float) + sizeof(std::uint16_t);
+    if (!plausibleCount(is, count, point_bytes))
         return false;
     msg.data.points.resize(count);
     for (pc::Point &p : msg.data.points) {
@@ -125,6 +157,11 @@ readFrame(std::istream &is, ros::Stamped<CameraFrame> &msg)
     if (!(readRaw(is, msg.data.width) &&
           readRaw(is, msg.data.height) && readRaw(is, count)))
         return false;
+    constexpr std::uint64_t object_bytes =
+        sizeof(std::uint32_t) + sizeof(std::uint8_t) +
+        8 * sizeof(double);
+    if (!plausibleCount(is, count, object_bytes))
+        return false;
     msg.data.truth.resize(count);
     for (VisibleObject &vo : msg.data.truth) {
         std::uint8_t cls = 0;
@@ -136,6 +173,10 @@ readFrame(std::istream &is, ros::Stamped<CameraFrame> &msg)
               readRaw(is, vo.worldVelocity.x) &&
               readRaw(is, vo.worldVelocity.y) &&
               readRaw(is, vo.occlusion)))
+            return false;
+        // Enum values come off the wire: reject anything outside the
+        // ActorClass range rather than storing a poisoned enum.
+        if (cls > static_cast<std::uint8_t>(ActorClass::Cyclist))
             return false;
         vo.cls = static_cast<ActorClass>(cls);
     }
@@ -230,54 +271,77 @@ bool
 loadSensorBag(ros::Bag &bag, const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
-    if (!is)
+    if (!is) {
+        util::warn("sensor bag '", path, "': cannot open for read");
         return false;
+    }
     std::uint32_t file_magic = 0, file_version = 0;
-    if (!readRaw(is, file_magic) || file_magic != magic ||
-        !readRaw(is, file_version) || file_version != version)
+    if (!readRaw(is, file_magic) || file_magic != magic) {
+        util::warn("sensor bag '", path,
+                   "': bad magic (not an AVBG file)");
         return false;
+    }
+    if (!readRaw(is, file_version) || file_version != version) {
+        util::warn("sensor bag '", path,
+                   "': unsupported format version ", file_version,
+                   " (expected ", version, ")");
+        return false;
+    }
 
     std::uint32_t tag = 0;
     while (readRaw(is, tag)) {
         std::uint64_t count = 0;
-        if (!readRaw(is, count))
+        if (!readRaw(is, count)) {
+            util::warn("sensor bag '", path,
+                       "': truncated channel header (tag ", tag,
+                       ")");
             return false;
+        }
         for (std::uint64_t i = 0; i < count; ++i) {
+            bool ok = false;
             switch (tag) {
               case tagPoints: {
                 ros::Stamped<pc::PointCloud> msg;
-                if (!readPointCloud(is, msg))
-                    return false;
-                bag.channel<pc::PointCloud>(topics::pointsRaw)
-                    .add(std::move(msg));
+                ok = readPointCloud(is, msg);
+                if (ok)
+                    bag.channel<pc::PointCloud>(topics::pointsRaw)
+                        .add(std::move(msg));
                 break;
               }
               case tagImages: {
                 ros::Stamped<CameraFrame> msg;
-                if (!readFrame(is, msg))
-                    return false;
-                bag.channel<CameraFrame>(topics::imageRaw)
-                    .add(std::move(msg));
+                ok = readFrame(is, msg);
+                if (ok)
+                    bag.channel<CameraFrame>(topics::imageRaw)
+                        .add(std::move(msg));
                 break;
               }
               case tagGnss: {
                 ros::Stamped<GnssFix> msg;
-                if (!readGnss(is, msg))
-                    return false;
-                bag.channel<GnssFix>(topics::gnss)
-                    .add(std::move(msg));
+                ok = readGnss(is, msg);
+                if (ok)
+                    bag.channel<GnssFix>(topics::gnss)
+                        .add(std::move(msg));
                 break;
               }
               case tagImu: {
                 ros::Stamped<ImuSample> msg;
-                if (!readImu(is, msg))
-                    return false;
-                bag.channel<ImuSample>(topics::imu)
-                    .add(std::move(msg));
+                ok = readImu(is, msg);
+                if (ok)
+                    bag.channel<ImuSample>(topics::imu)
+                        .add(std::move(msg));
                 break;
               }
               default:
-                return false; // unknown channel tag
+                util::warn("sensor bag '", path,
+                           "': unknown channel tag ", tag);
+                return false;
+            }
+            if (!ok) {
+                util::warn("sensor bag '", path,
+                           "': truncated or corrupt record ", i,
+                           " of ", count, " in channel tag ", tag);
+                return false;
             }
         }
     }

@@ -13,12 +13,15 @@
  * replays; cache-path determinism is covered by tests/exp.
  */
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "exp/runner.hh"
 #include "findings.hh"
 
 namespace {
@@ -62,6 +65,79 @@ TEST(Determinism, FindingsReportIndependentOfWorkerCount)
 
     ASSERT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
+}
+
+/** Serialize @p result through a scratch cache; return the bytes. */
+std::string
+resultBytes(const av::prof::RunResult &result, const char *key)
+{
+    const std::string dir = "/tmp/avscope_determinism_faults";
+    const av::exp::ResultCache cache(dir);
+    EXPECT_TRUE(cache.store(key, result));
+    std::ifstream is(cache.entryPath(key), std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(Determinism, FaultedRunsByteIdenticalAcrossWorkerCounts)
+{
+    namespace exp = av::exp;
+    namespace fault = av::fault;
+    using av::sim::oneMs;
+    using av::sim::oneSec;
+    std::filesystem::remove_all("/tmp/avscope_determinism_faults");
+
+    // A schedule mixing every stochastic fault mechanism: seeded
+    // frame loss, duplication/corruption draws, a crash/respawn
+    // cycle and a throttle window. Degradation responses on, so the
+    // fallback/coast/reseed paths are in the replay too.
+    const fault::FaultPlan plan =
+        fault::FaultPlan()
+            .cameraBlackout(2 * oneSec, oneSec)
+            .frameLoss(av::world::topics::pointsRaw, 3 * oneSec,
+                       oneSec, 0.5)
+            .nodeCrash("euclidean_cluster", 4 * oneSec,
+                       500 * oneMs)
+            .messageDuplicate(av::perception::topics::imageObjects,
+                              2 * oneSec, oneSec, 0.5)
+            .gpuThrottle(oneSec, oneSec, 0.5);
+
+    std::vector<exp::ExperimentSpec> specs;
+    for (const auto kind : {av::perception::DetectorKind::Ssd512,
+                            av::perception::DetectorKind::Yolov3})
+        specs.push_back(
+            exp::spec()
+                .detector(kind)
+                .durationSeconds(6)
+                .seed(2020)
+                .faults(plan)
+                .degraded()
+                .named(av::perception::detectorName(kind)));
+
+    exp::Runner serial(exp::RunnerConfig{1, ""});
+    exp::Runner parallel(exp::RunnerConfig{3, ""});
+    for (const auto &s : specs) {
+        serial.submit(s);
+        parallel.submit(s);
+    }
+    const auto from_serial = serial.collect();
+    const auto from_parallel = parallel.collect();
+    ASSERT_EQ(from_serial.size(), specs.size());
+    ASSERT_EQ(from_parallel.size(), specs.size());
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string tag = std::to_string(i);
+        const std::string a = resultBytes(*from_serial[i],
+                                          ("serial-" + tag).c_str());
+        const std::string b = resultBytes(
+            *from_parallel[i], ("parallel-" + tag).c_str());
+        ASSERT_FALSE(a.empty());
+        EXPECT_EQ(a, b) << "faulted run " << i
+                        << " differs across worker counts";
+        // The entry must carry fault outcomes, not an empty table.
+        EXPECT_NE(a.find("faults 5"), std::string::npos);
+    }
 }
 
 } // namespace

@@ -188,6 +188,34 @@ TEST(Runner, CacheKeyCoversEveryReplayField)
          [](exp::ExperimentSpec &s) {
              s.config.drainGrace += sim::oneSec;
          }},
+        {"degradation toggle",
+         [](exp::ExperimentSpec &s) { s.degraded(); }},
+        {"degradation threshold",
+         [](exp::ExperimentSpec &s) {
+             s.config.stack.degradation.visionStaleAfter +=
+                 sim::oneMs;
+         }},
+        {"fault plan",
+         [](exp::ExperimentSpec &s) {
+             s.faults(fault::FaultPlan().cameraBlackout(
+                 sim::oneSec, sim::oneSec));
+         }},
+        {"fault plan seed",
+         [](exp::ExperimentSpec &s) {
+             fault::FaultPlan plan;
+             plan.seed += 1;
+             s.faults(plan);
+         }},
+        {"fault window",
+         [](exp::ExperimentSpec &s) {
+             s.faults(fault::FaultPlan().cameraBlackout(
+                 sim::oneSec, 2 * sim::oneSec));
+         }},
+        {"fault probability",
+         [](exp::ExperimentSpec &s) {
+             s.faults(fault::FaultPlan().frameLoss(
+                 "/points_raw", sim::oneSec, sim::oneSec, 0.25));
+         }},
     };
     for (const auto &c : cases) {
         auto changed = base;
@@ -204,6 +232,66 @@ TEST(Runner, CacheKeyCoversEveryReplayField)
     auto other_seed = base;
     other_seed.seed(base.scenario.seed + 1);
     EXPECT_NE(exp::driveKey(other_seed), exp::driveKey(base));
+}
+
+TEST(Runner, ThrowingExperimentPropagatesWithoutDeadlock)
+{
+    // A fault plan naming an unknown node throws from the
+    // CharacterizationRun constructor on a worker thread. The
+    // exception must surface from result()/collect() — not abort the
+    // worker or leave the waiter blocked — and the pool must keep
+    // serving jobs submitted afterwards.
+    exp::Runner runner(exp::RunnerConfig{1, ""});
+    auto bad = exp::spec().durationSeconds(6).named("bad plan");
+    bad.faults(
+        fault::FaultPlan().nodeCrash("no_such_node", 0, sim::oneSec));
+    const std::size_t bad_id = runner.submit(bad);
+    const std::size_t good_id = runner.submit(
+        exp::spec().durationSeconds(6).named("still works"));
+
+    EXPECT_THROW(runner.result(bad_id), std::invalid_argument);
+    // Rethrow is repeatable, and collect() reports it too.
+    EXPECT_THROW(runner.result(bad_id), std::invalid_argument);
+    EXPECT_THROW(runner.collect(), std::invalid_argument);
+    // The slot survived: the next job completed normally.
+    EXPECT_EQ(runner.result(good_id).label, "still works");
+}
+
+TEST(Runner, CorruptedCacheEntryIsAMiss)
+{
+    const std::string dir = freshDir("corrupt");
+    const auto spec =
+        exp::spec().durationSeconds(6).seed(9).named("corruptable");
+
+    exp::Runner cold(exp::RunnerConfig{1, dir});
+    cold.result(cold.submit(spec));
+    ASSERT_EQ(cold.executed(), 1u);
+
+    const exp::ResultCache cache(dir);
+    const std::string path = cache.entryPath(exp::cacheKey(spec));
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Truncate the entry mid-file: parse must fail, load must report
+    // a miss, and the Runner must quietly re-execute.
+    const std::string bytes = fileBytes(path);
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << bytes.substr(0, bytes.size() / 2);
+    }
+    EXPECT_FALSE(cache.load(exp::cacheKey(spec)).has_value());
+
+    exp::Runner warm(exp::RunnerConfig{1, dir});
+    warm.result(warm.submit(spec));
+    EXPECT_EQ(warm.cacheHits(), 0u)
+        << "truncated entry must not count as a hit";
+    EXPECT_EQ(warm.executed(), 1u);
+
+    // Same for arbitrary garbage replacing the payload.
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << "avscope-result 2\nlabel x\nnodes 999999999\n";
+    }
+    EXPECT_FALSE(cache.load(exp::cacheKey(spec)).has_value());
 }
 
 } // namespace

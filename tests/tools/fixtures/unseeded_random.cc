@@ -1,0 +1,38 @@
+// Default-constructed random generators; seeded and fork()ed
+// streams must stay quiet.
+#include <cstdint>
+#include <random>
+
+namespace av::fixture {
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed = 1);
+    Rng fork(std::uint64_t salt);
+    std::uint64_t next();
+};
+
+void
+streams()
+{
+    Rng bare;                        // line 18: unseeded-random
+    Rng braced{};                    // line 19: unseeded-random
+    std::mt19937 twister;            // line 20: unseeded-random
+    Rng seeded(2027);                // legal: explicit seed
+    Rng forked = seeded.fork(7);     // legal: forked stream
+    std::mt19937 seeded_twister(9);  // legal: explicit seed
+    (void)Rng(41).next();            // legal: seeded temporary
+    (void)bare.next();
+    (void)braced.next();
+    (void)twister();
+    (void)forked.next();
+    (void)seeded_twister();
+}
+
+struct Holder
+{
+    Rng rng_; // legal: member, seeded in the ctor init list
+    Holder() : rng_(11) {}
+};
+
+} // namespace av::fixture

@@ -139,6 +139,24 @@ TEST(Avlint, MutableGlobalFlaggedAtNamespaceScope)
     EXPECT_TRUE(in_tools.empty());
 }
 
+TEST(Avlint, UnseededRandomFlaggedInLibraryCodeOnly)
+{
+    const auto in_src = lintFile(fixture("unseeded_random.cc"),
+                                 "src/fixture/unseeded_random.cc");
+    EXPECT_EQ(ruleLines(in_src), (Pairs{{"unseeded-random", 18},
+                                        {"unseeded-random", 19},
+                                        {"unseeded-random", 20}}));
+
+    // The generator's own implementation may default-construct;
+    // benches and tools are outside the replay contract.
+    const auto in_util = lintFile(fixture("unseeded_random.cc"),
+                                  "src/util/random.cc");
+    EXPECT_TRUE(in_util.empty());
+    const auto in_bench = lintFile(fixture("unseeded_random.cc"),
+                                   "bench/unseeded_random.cc");
+    EXPECT_TRUE(in_bench.empty());
+}
+
 TEST(Avlint, SuppressionCommentSilencesSameAndNextLine)
 {
     const auto diags = lintFile(fixture("suppressed.cc"),
@@ -156,7 +174,7 @@ TEST(Avlint, FileLevelSuppressionSilencesWholeFile)
 TEST(Avlint, RuleCatalogIsStable)
 {
     const auto names = av::lint::ruleNames();
-    EXPECT_EQ(names.size(), 8u);
+    EXPECT_EQ(names.size(), 9u);
     EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"),
               names.end());
 }

@@ -150,6 +150,65 @@ TEST(BagIo, RejectsTruncatedFile)
     std::remove(path.c_str());
 }
 
+template <typename T>
+void
+putRaw(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+TEST(BagIo, RejectsCountBombWithoutAllocating)
+{
+    // A well-formed prefix (magic, version, point channel with one
+    // record and a valid header) followed by a 4-billion point count
+    // and no point data. The loader must reject it from the count's
+    // implausibility against the bytes remaining — resize()ing first
+    // would be a multi-gigabyte allocation serving a 60-byte file.
+    const std::string path = tempPath("count_bomb");
+    {
+        std::ofstream os(path, std::ios::binary);
+        putRaw<std::uint32_t>(os, 0x47425641); // "AVBG"
+        putRaw<std::uint32_t>(os, 1);          // version
+        putRaw<std::uint32_t>(os, 1);          // tagPoints
+        putRaw<std::uint64_t>(os, 1);          // one record
+        for (int field = 0; field < 5; ++field) // record header
+            putRaw<std::uint64_t>(os, 0);
+        putRaw<std::uint64_t>(os, 0);           // stampNs
+        putRaw<std::uint32_t>(os, 0xffffffffu); // point count bomb
+    }
+    ros::Bag bag;
+    EXPECT_FALSE(loadSensorBag(bag, path));
+    EXPECT_EQ(bag.totalMessages(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(BagIo, RejectsOutOfRangeActorClass)
+{
+    // One camera frame whose visible object carries class 200 —
+    // outside the ActorClass enum. Storing it would poison every
+    // switch over the enum downstream, so the load must fail.
+    const std::string path = tempPath("bad_class");
+    {
+        std::ofstream os(path, std::ios::binary);
+        putRaw<std::uint32_t>(os, 0x47425641); // "AVBG"
+        putRaw<std::uint32_t>(os, 1);          // version
+        putRaw<std::uint32_t>(os, 2);          // tagImages
+        putRaw<std::uint64_t>(os, 1);          // one record
+        for (int field = 0; field < 5; ++field) // record header
+            putRaw<std::uint64_t>(os, 0);
+        putRaw<std::uint32_t>(os, 1920);       // width
+        putRaw<std::uint32_t>(os, 1080);       // height
+        putRaw<std::uint32_t>(os, 1);          // one object
+        putRaw<std::uint32_t>(os, 7);          // truthId
+        putRaw<std::uint8_t>(os, 200);         // class: out of range
+        for (int field = 0; field < 8; ++field)
+            putRaw<double>(os, 0.0);
+    }
+    ros::Bag bag;
+    EXPECT_FALSE(loadSensorBag(bag, path));
+    std::remove(path.c_str());
+}
+
 TEST(BagIo, MissingFileFails)
 {
     ros::Bag bag;

@@ -27,6 +27,10 @@
  *   mutable-global    namespace-scope mutable variables in src/ —
  *                     shared mutable state breaks the isolation
  *                     contract of the thread-parallel Runner
+ *   unseeded-random   util::Rng or a std random engine constructed
+ *                     in src/ without an explicit seed — every
+ *                     stream must be seeded (or fork()ed) to keep
+ *                     replays byte-identical
  *
  * A diagnostic on line N is silenced by `// avlint: allow(<rule>)` on
  * the same line, or on a comment-only line directly above. A

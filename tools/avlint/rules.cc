@@ -536,6 +536,79 @@ ruleMutableGlobal(const SourceFile &f, Diags &out)
     }
 }
 
+// ---------------------------------------------------------------
+// unseeded-random: util::Rng or a std engine constructed in src/
+// without an explicit seed. A default-constructed generator is a
+// replay hazard: the stream it yields is decided by whatever the
+// default happens to be, not by the experiment's configuration.
+// Member declarations (trailing '_') are exempt — they are seeded
+// in their constructor's init list.
+// ---------------------------------------------------------------
+
+void
+ruleUnseededRandom(const SourceFile &f, Diags &out)
+{
+    if (!startsWith(f.relPath(), "src/") ||
+        startsWith(f.relPath(), "src/util/random."))
+        return;
+
+    static const std::set<std::string> engines = {
+        "Rng",          "mt19937",      "mt19937_64",
+        "minstd_rand",  "minstd_rand0", "ranlux24",
+        "ranlux48",     "knuth_b",
+    };
+
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Identifier || !engines.count(t.text))
+            continue;
+        // Not the type's own definition / member access.
+        if (i > 0 && (toks[i - 1].text == "class" ||
+                      toks[i - 1].text == "struct" ||
+                      toks[i - 1].text == "."))
+            continue;
+        if (i + 1 >= toks.size())
+            continue;
+        const Token &next = toks[i + 1];
+
+        const auto flag = [&](int line) {
+            emit(out, f, line, "unseeded-random",
+                 "'" + t.text + "' constructed without an explicit"
+                 " seed; pass one (or fork() an existing stream) so"
+                 " replays stay byte-identical");
+        };
+
+        // Temporary: `Rng()` / `Rng{}` with an empty argument list.
+        if (next.text == "(" || next.text == "{") {
+            const std::size_t close =
+                next.text == "(" ? skipParens(toks, i + 1)
+                                 : skipBraces(toks, i + 1);
+            if (close == i + 3)
+                flag(t.line);
+            continue;
+        }
+        if (next.kind != TokenKind::Identifier)
+            continue; // reference, template argument, pointer, ...
+
+        // `Rng name ...`: a variable declaration. Members (trailing
+        // '_') are seeded in a ctor init list; `= expr` carries its
+        // own construction; `(...)` is either a seeded ctor or a
+        // function declaration — neither is a bare default.
+        if (!next.text.empty() && next.text.back() == '_')
+            continue;
+        if (i + 2 >= toks.size())
+            continue;
+        const Token &after = toks[i + 2];
+        if (after.text == ";") {
+            flag(t.line);
+        } else if (after.text == "{") {
+            if (skipBraces(toks, i + 2) == i + 4)
+                flag(t.line);
+        }
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -546,6 +619,7 @@ ruleNames()
         "include-guard",     "using-namespace-header",
         "unordered-iter",    "raw-new-delete",
         "print-in-library",  "mutable-global",
+        "unseeded-random",
     };
 }
 
@@ -561,6 +635,7 @@ lintSource(const SourceFile &file, const SourceFile *companion)
     ruleRawNewDelete(file, all);
     rulePrintInLibrary(file, all);
     ruleMutableGlobal(file, all);
+    ruleUnseededRandom(file, all);
 
     Diags kept;
     for (Diagnostic &d : all)
