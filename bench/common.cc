@@ -9,8 +9,21 @@ namespace av::bench {
 namespace {
 
 const std::vector<std::string> kCommonFlags = {
-    "duration", "seed", "csv", "jobs", "cache-dir", "no-cache",
+    "duration",  "seed",     "csv",       "jobs",
+    "cache-dir", "no-cache", "transport",
 };
+
+std::vector<ros::TransportMode>
+parseTransportModes(const util::Flags &flags)
+{
+    const std::string name = flags.getString("transport", "loan");
+    if (name == "both")
+        return {ros::TransportMode::Copy, ros::TransportMode::Loan};
+    ros::TransportMode mode;
+    AV_ASSERT(ros::transportModeFromName(name, mode),
+              "--transport must be copy, loan or both; got ", name);
+    return {mode};
+}
 
 } // namespace
 
@@ -27,8 +40,21 @@ BenchEnv::runnerConfig(const util::Flags &flags)
     return cfg;
 }
 
-BenchEnv::BenchEnv(int argc, char **argv)
-    : flags_(argc, argv, kCommonFlags),
+namespace {
+
+std::vector<std::string>
+knownFlags(const std::vector<std::string> &extra)
+{
+    std::vector<std::string> known = kCommonFlags;
+    known.insert(known.end(), extra.begin(), extra.end());
+    return known;
+}
+
+} // namespace
+
+BenchEnv::BenchEnv(int argc, char **argv,
+                   const std::vector<std::string> &extra)
+    : flags_(argc, argv, knownFlags(extra)),
       runner_(runnerConfig(flags_))
 {
     csv_ = flags_.getBool("csv");
@@ -36,12 +62,18 @@ BenchEnv::BenchEnv(int argc, char **argv)
     AV_ASSERT(seconds > 0, "duration must be positive");
     duration_ = static_cast<sim::Tick>(seconds) * sim::oneSec;
     seed_ = static_cast<std::uint64_t>(flags_.getInt("seed", 2020));
+    transportModes_ = parseTransportModes(flags_);
 }
 
 exp::ExperimentSpec
 BenchEnv::spec() const
 {
-    return exp::spec().duration(duration_).seed(seed_);
+    // Under "both" the base spec rides the new (Loan) path; benches
+    // comparing transports override the mode per submission.
+    return exp::spec()
+        .duration(duration_)
+        .seed(seed_)
+        .transportMode(transportModes_.back());
 }
 
 exp::ExperimentSpec
@@ -61,6 +93,24 @@ const prof::RunResult &
 BenchEnv::run(perception::DetectorKind kind)
 {
     return run(spec(kind));
+}
+
+void
+assertZeroCopy(const prof::RunResult &run)
+{
+    if (run.transportMode != "loan")
+        return;
+    AV_ASSERT(run.transport.payloadCopies ==
+                  run.transport.forcedCopies,
+              "zero-copy contract violated in '", run.label,
+              "': ", run.transport.payloadCopies,
+              " payload copies but only ",
+              run.transport.forcedCopies, " forced by faults");
+    if (run.faults.empty())
+        AV_ASSERT(run.transport.payloadCopies == 0,
+                  "zero-copy contract violated in clean run '",
+                  run.label, "': ", run.transport.payloadCopies,
+                  " payload copies");
 }
 
 void

@@ -10,6 +10,12 @@
  *   --jobs <n>       worker threads (default: hardware concurrency)
  *   --cache-dir <d>  result-cache directory (default results/cache)
  *   --no-cache       disable the result cache
+ *   --transport <m>  intra-process transport: loan (default,
+ *                    zero-copy), copy (v1 deep-copy path), or both
+ *                    (run each experiment under both and compare —
+ *                    simulated results must match byte-for-byte;
+ *                    only host-side work and the copy counters
+ *                    differ)
  *
  * Benches describe runs as ExperimentSpecs and submit them to the
  * shared Runner — submitting everything up front and collecting
@@ -65,12 +71,32 @@ inline const std::vector<std::string> tab7Nodes = {
 class BenchEnv
 {
   public:
-    BenchEnv(int argc, char **argv);
+    /**
+     * Parse the common flags (plus @p extra flag names a bench
+     * accepts on top) and build the Runner.
+     */
+    BenchEnv(int argc, char **argv,
+             const std::vector<std::string> &extra = {});
 
     const util::Flags &flags() const { return flags_; }
     bool csv() const { return csv_; }
     sim::Tick duration() const { return duration_; }
     std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Transport modes selected by --transport: one mode normally,
+     * Copy then Loan (old then new) under "both".
+     */
+    const std::vector<ros::TransportMode> &transportModes() const
+    {
+        return transportModes_;
+    }
+
+    /** True when --transport both asked for a comparison. */
+    bool comparingTransports() const
+    {
+        return transportModes_.size() > 1;
+    }
 
     /** Base spec carrying the --duration / --seed flags. */
     exp::ExperimentSpec spec() const;
@@ -97,8 +123,17 @@ class BenchEnv
     bool csv_ = false;
     sim::Tick duration_ = 0;
     std::uint64_t seed_ = 2020;
+    std::vector<ros::TransportMode> transportModes_;
     exp::Runner runner_;
 };
+
+/**
+ * Assert the zero-copy contract on a finished run: in Loan mode
+ * every deep payload copy must have been forced by a transport
+ * fault, and a clean (unfaulted) run must have made none at all.
+ * No-op for Copy-mode runs.
+ */
+void assertZeroCopy(const prof::RunResult &run);
 
 } // namespace av::bench
 

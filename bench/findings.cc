@@ -55,7 +55,8 @@ series(const prof::RunResult &run, const std::string &node)
 } // namespace
 
 int
-runFindingsSummary(BenchEnv &env, std::ostream &os)
+runFindingsSummary(BenchEnv &env, std::ostream &os,
+                   std::vector<prof::RunResult> *runsOut)
 {
     int passed = 0, total = 0;
     const auto verdict = [&](bool ok, const std::string &text) {
@@ -80,6 +81,14 @@ runFindingsSummary(BenchEnv &env, std::ostream &os)
 
     const prof::RunResult &ssd512 = runner.result(ssd_job);
     const prof::RunResult &yolo = runner.result(yolo_job);
+    assertZeroCopy(ssd512);
+    assertZeroCopy(yolo);
+    if (runsOut) {
+        runsOut->push_back(ssd512);
+        runsOut->push_back(yolo);
+        runsOut->push_back(runner.result(ssd_iso_job));
+        runsOut->push_back(runner.result(yolo_iso_job));
+    }
 
     // Finding 1: tail latency of non-vision nodes varies with the
     // detector choice (pure cross-node contention).

@@ -12,6 +12,7 @@
 #define AVSCOPE_BENCH_FINDINGS_HH
 
 #include <ostream>
+#include <vector>
 
 #include "common.hh"
 
@@ -20,10 +21,16 @@ namespace av::bench {
 /**
  * Render the paper's five-findings check into @p os, running the
  * required replays through @p env's Runner (hence the mutable env).
+ * When @p runsOut is non-null the four finished runs are copied into
+ * it (full SSD512, full YOLO, isolated SSD512, isolated YOLO) for
+ * machine-readable side reports; the rendered stream itself stays
+ * byte-identical either way.
  * @return the number of findings that failed to reproduce (0 = all
  *         five reproduced).
  */
-int runFindingsSummary(BenchEnv &env, std::ostream &os);
+int runFindingsSummary(BenchEnv &env, std::ostream &os,
+                       std::vector<prof::RunResult> *runsOut =
+                           nullptr);
 
 } // namespace av::bench
 

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Transport microbenchmark: the host-side cost of the minros
+ * intra-process transport, old (Copy) vs new (Loan) path.
+ *
+ *  - fan-out: publish large payloads to several subscribers under
+ *    both TransportModes, reporting wall-clock and the transport
+ *    counters (Loan must record zero payload copies)
+ *  - ring: raw SpscRing throughput, single-threaded and with a real
+ *    producer/consumer thread pair (the lock-free protocol's
+ *    cross-thread case; TSan proves it clean)
+ *
+ * --smoke shrinks every size so the binary doubles as a sanitizer
+ * smoke test: scripts/check.sh runs it under ASan/UBSan and TSan.
+ * Wall-clock output goes to stdout — this is a host bench, not a
+ * simulated result, so it is outside the determinism contract.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "ros/ros.hh"
+#include "ros/spsc_ring.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace av;
+
+/** A payload heavy enough that deep copies dominate: ~1 MiB. */
+struct Blob
+{
+    std::vector<std::uint64_t> words;
+};
+
+// avlint: allow(wall-clock)
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/**
+ * Publish @p messages Blobs of @p words words to @p subs
+ * subscribers and drain the event queue; returns wall seconds.
+ */
+double
+fanOut(ros::TransportMode mode, std::size_t messages,
+       std::size_t words, unsigned subs,
+       ros::TransportCounters &countersOut)
+{
+    sim::EventQueue eq;
+    hw::MachineConfig mcfg;
+    hw::Machine machine(eq, mcfg);
+    ros::TransportConfig tc;
+    tc.mode = mode;
+    ros::RosGraph graph(machine, tc);
+
+    std::vector<std::unique_ptr<ros::Node>> nodes;
+    std::size_t consumed = 0;
+    for (unsigned i = 0; i < subs; ++i) {
+        auto node = std::make_unique<ros::Node>(
+            graph, "sink" + std::to_string(i));
+        node->subscribe<Blob>(
+            "/blob", 2,
+            [&consumed](const ros::Stamped<Blob> &msg,
+                        std::function<void()> done) {
+                consumed += msg.data.words.back();
+                done();
+            });
+        nodes.push_back(std::move(node));
+    }
+
+    auto pub = graph.advertise<Blob>("/blob");
+    const auto t0 = Clock::now();
+    for (std::size_t m = 0; m < messages; ++m) {
+        eq.scheduleAfter(sim::oneMs, [&pub, words] {
+            Blob blob;
+            blob.words.assign(words, 1);
+            const std::size_t bytes = blob.words.size() * 8;
+            pub.publish(ros::Header{}, std::move(blob), bytes);
+        });
+        eq.runUntil();
+    }
+    const auto t1 = Clock::now();
+    AV_ASSERT(consumed == messages * subs, "lost deliveries");
+    countersOut = graph.transportCounters();
+    return seconds(t0, t1);
+}
+
+/** Single-threaded push/pop pairs; returns ops (push+pop) per sec. */
+double
+ringSingleThread(std::size_t ops)
+{
+    ros::SpscRing<std::uint64_t> ring(64);
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+        ring.pushDropOldest(i);
+        std::uint64_t out = 0;
+        ring.pop(&out);
+        sink += out;
+    }
+    const auto t1 = Clock::now();
+    AV_ASSERT(sink > 0 || ops == 0, "ring lost everything");
+    return static_cast<double>(ops) / seconds(t0, t1);
+}
+
+/**
+ * Real producer/consumer thread pair: the producer pushes @p ops
+ * values with tryPush (spinning on full), the consumer pops until it
+ * has read all of them. Exercises the cross-thread acquire/release
+ * protocol — the TSan target.
+ */
+double
+ringTwoThreads(std::size_t ops)
+{
+    ros::SpscRing<std::uint64_t> ring(1024);
+    std::uint64_t sum = 0;
+    const auto t0 = Clock::now();
+    std::thread producer([&ring, ops] {
+        for (std::size_t i = 1; i <= ops; ++i) {
+            std::uint64_t value = i;
+            while (!ring.tryPush(value))
+                std::this_thread::yield();
+        }
+    });
+    std::thread consumer([&ring, &sum, ops] {
+        std::size_t got = 0;
+        while (got < ops) {
+            std::uint64_t out = 0;
+            if (ring.pop(&out)) {
+                sum += out;
+                ++got;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    producer.join();
+    consumer.join();
+    const auto t1 = Clock::now();
+    AV_ASSERT(sum == ops * (ops + 1) / 2,
+              "ring dropped or duplicated values cross-thread");
+    return static_cast<double>(ops) / seconds(t0, t1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::Flags flags(
+        argc, argv, {"smoke", "messages", "words", "subs", "ops"});
+    const bool smoke = flags.getBool("smoke");
+    const auto messages = static_cast<std::size_t>(
+        flags.getInt("messages", smoke ? 50 : 2000));
+    const auto words = static_cast<std::size_t>(
+        flags.getInt("words", smoke ? 1u << 12 : 1u << 17));
+    const auto subs = static_cast<unsigned>(
+        flags.getInt("subs", 3));
+    const auto ops = static_cast<std::size_t>(
+        flags.getInt("ops", smoke ? 20000 : 2000000));
+
+    std::printf("micro_transport: %zu messages x %zu words x %u "
+                "subscribers%s\n",
+                messages, words, subs, smoke ? " (smoke)" : "");
+
+    for (const ros::TransportMode mode :
+         {ros::TransportMode::Copy, ros::TransportMode::Loan}) {
+        ros::TransportCounters counters;
+        const double wall = fanOut(mode, messages, words, subs,
+                                   counters);
+        std::printf("  fan-out [%4s]: %8.2f ms wall, %llu "
+                    "deliveries, %llu payload copies, %llu loaned\n",
+                    ros::transportModeName(mode), wall * 1e3,
+                    static_cast<unsigned long long>(
+                        counters.deliveries),
+                    static_cast<unsigned long long>(
+                        counters.payloadCopies),
+                    static_cast<unsigned long long>(
+                        counters.loanedDeliveries));
+        if (mode == ros::TransportMode::Copy)
+            AV_ASSERT(counters.payloadCopies ==
+                          messages * subs,
+                      "copy mode must deep-copy per delivery");
+        else
+            AV_ASSERT(counters.payloadCopies == 0 &&
+                          counters.loanedDeliveries ==
+                              messages * subs,
+                      "loan mode must not copy payloads");
+    }
+
+    std::printf("  ring 1-thread: %8.2f M ops/s\n",
+                ringSingleThread(ops) / 1e6);
+    std::printf("  ring 2-thread: %8.2f M ops/s\n",
+                ringTwoThreads(ops) / 1e6);
+    return 0;
+}

@@ -4,10 +4,14 @@
 #   1. tier-1 verify: default configure + build + ctest
 #      (then the fault-injection smoke by its ctest label)
 #   2. avlint over the whole tree
-#   3. rebuild + ctest under AddressSanitizer + UBSan
+#   3. rebuild + ctest under AddressSanitizer + UBSan, then the
+#      transport microbench smoke (lock-free SPSC ring + loaned
+#      messages, DESIGN.md §12) under the same build
 #   4. rebuild + ctest under ThreadSanitizer (the Runner's worker
 #      pool and result cache run real threads; TSan proves the
-#      isolation contract DESIGN.md §10 describes)
+#      isolation contract DESIGN.md §10 describes), then the
+#      transport microbench smoke again — TSan is what proves the
+#      ring's cross-thread acquire/release protocol clean
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 # Exit code is non-zero if any stage fails.
@@ -48,6 +52,11 @@ ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS"
 
+step "transport microbench smoke (ASan + UBSan)"
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "$ASAN_BUILD/bench/micro_transport" --smoke
+
 step "sanitizers: configure + build ($TSAN_BUILD)"
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
     -DAVSCOPE_SANITIZE="thread"
@@ -56,5 +65,9 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 step "sanitizers: ctest (TSan, halt on any report)"
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS"
+
+step "transport microbench smoke (TSan)"
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_BUILD/bench/micro_transport" --smoke
 
 step "all checks passed"

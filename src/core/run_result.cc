@@ -152,6 +152,9 @@ snapshotRun(const CharacterizationRun &run, std::string label)
     for (const StalenessRow &row : run.staleness().rows())
         out.staleness.push_back({row.topic, row.ageMs});
     out.resilience = run.resilienceCounters();
+    out.transportMode =
+        ros::transportModeName(run.config().transport.mode);
+    out.transport = run.graph().transportCounters();
     return out;
 }
 

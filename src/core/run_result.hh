@@ -75,6 +75,17 @@ struct RunResult
     /** Degradation-response counters (fixed schema). */
     std::vector<std::pair<std::string, double>> resilience;
 
+    /** Transport mode the run used ("copy" / "loan"). */
+    std::string transportMode;
+
+    /**
+     * Host-side payload accounting summed over every topic: the
+     * receipts behind the zero-copy contract (a clean Loan-mode run
+     * has transport.payloadCopies == 0). Deterministic — counts
+     * follow the simulated message flow.
+     */
+    ros::TransportCounters transport;
+
     /** Resilience counter by name; 0 when unknown. */
     double resilienceOf(const std::string &name) const;
 

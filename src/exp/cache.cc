@@ -137,7 +137,7 @@ expect(std::istream &is, const char *word)
 }
 
 constexpr const char *kMagic = "avscope-result";
-constexpr int kVersion = 2;
+constexpr int kVersion = 3;
 
 void
 serialize(std::ostream &os, const prof::RunResult &run)
@@ -215,6 +215,13 @@ serialize(std::ostream &os, const prof::RunResult &run)
            << ' ' << row.corrupted << ' ' << row.duplicated << ' '
            << row.delayed << '\n';
     }
+
+    os << "transport " << run.transportMode << ' '
+       << run.transport.published << ' ' << run.transport.deliveries
+       << ' ' << run.transport.payloadCopies << ' '
+       << run.transport.loanedDeliveries << ' '
+       << run.transport.movedPublishes << ' '
+       << run.transport.forcedCopies << '\n';
     os << "end\n";
 }
 
@@ -338,6 +345,20 @@ parse(std::istream &is, prof::RunResult &run)
               row.duplicated >> row.delayed))
             return false;
     }
+
+    if (!expect(is, "transport"))
+        return false;
+    ros::TransportMode mode;
+    if (!(is >> run.transportMode) ||
+        !ros::transportModeFromName(run.transportMode, mode))
+        return false;
+    if (!(is >> run.transport.published >>
+          run.transport.deliveries >>
+          run.transport.payloadCopies >>
+          run.transport.loanedDeliveries >>
+          run.transport.movedPublishes >>
+          run.transport.forcedCopies))
+        return false;
 
     return expect(is, "end");
 }

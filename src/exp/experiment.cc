@@ -152,6 +152,7 @@ fold(Hasher &h, const ros::TransportConfig &c)
     h.tag("transport");
     h.u64(c.baseLatency);
     h.f64(c.bandwidthGBs);
+    h.u64(static_cast<std::uint64_t>(c.mode));
 }
 
 void
@@ -222,7 +223,7 @@ cacheKey(const ExperimentSpec &spec)
     // Format version: bump whenever the key encoding, the RunConfig
     // field set or the result file format changes, so stale cache
     // entries miss instead of misloading.
-    h.tag("avscope-exp-v2");
+    h.tag("avscope-exp-v3");
     foldDrive(h, spec);
     fold(h, spec.config.stack);
     fold(h, spec.config.machine);

@@ -40,7 +40,11 @@ VoxelGridFilterNode::VoxelGridFilterNode(ros::RosGraph &graph,
             finishWorkOnCpu([this, out, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *out, out->byteSize());
+                // Loan the payload: byteSize() is hoisted because
+                // argument evaluation order is unspecified and the
+                // move hollows out *out.
+                const std::size_t bytes = out->byteSize();
+                pub_.publish(header, std::move(*out), bytes);
                 done();
             });
         });
@@ -197,10 +201,14 @@ RayGroundFilterNode::RayGroundFilterNode(ros::RosGraph &graph,
             finishWorkOnCpu([this, split, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pubNoGround_.publish(header, split->noGround,
-                                     split->noGround.byteSize());
-                pubGround_.publish(header, split->ground,
-                                   split->ground.byteSize());
+                const std::size_t ngBytes =
+                    split->noGround.byteSize();
+                const std::size_t gBytes = split->ground.byteSize();
+                pubNoGround_.publish(header,
+                                     std::move(split->noGround),
+                                     ngBytes);
+                pubGround_.publish(header, std::move(split->ground),
+                                   gBytes);
                 done();
             });
         });
@@ -261,7 +269,8 @@ EuclideanClusterNode::EuclideanClusterNode(ros::RosGraph &graph,
             const auto publish = [this, list, header, arrival,
                                   done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *list, list->byteSize());
+                const std::size_t bytes = list->byteSize();
+                pub_.publish(header, std::move(*list), bytes);
                 done();
             };
 
@@ -358,8 +367,10 @@ VisionDetectorNode::VisionDetectorNode(
                 [this, detections, header, arrival,
                  done = std::move(done)] {
                     recordLatency(arrival);
-                    pub_.publish(header, *detections,
-                                 detections->byteSize());
+                    const std::size_t bytes =
+                        detections->byteSize();
+                    pub_.publish(header, std::move(*detections),
+                                 bytes);
                     done();
                 });
         });
@@ -420,7 +431,8 @@ RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
             finishWorkOnCpu([this, fused, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *fused, fused->byteSize());
+                const std::size_t bytes = fused->byteSize();
+                pub_.publish(header, std::move(*fused), bytes);
                 done();
             });
         });
@@ -453,7 +465,8 @@ RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
             finishWorkOnCpu([this, fused, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *fused, fused->byteSize());
+                const std::size_t bytes = fused->byteSize();
+                pub_.publish(header, std::move(*fused), bytes);
                 done();
             });
         });
@@ -485,8 +498,8 @@ ImmUkfPdaNode::ImmUkfPdaNode(ros::RosGraph &graph,
             finishWorkOnCpu([this, tracked, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *tracked,
-                             tracked->byteSize());
+                const std::size_t bytes = tracked->byteSize();
+                pub_.publish(header, std::move(*tracked), bytes);
                 done();
             });
         });
@@ -516,7 +529,8 @@ ImmUkfPdaNode::maybeCoast()
     ros::Header header;
     header.stamp = now;
     header.origins = lastOrigins_;
-    pub_.publish(header, *coasted, coasted->byteSize());
+    const std::size_t bytes = coasted->byteSize();
+    pub_.publish(header, std::move(*coasted), bytes);
 }
 
 // ---------------------------------------------------------------- relay
@@ -543,7 +557,8 @@ TrackRelayNode::TrackRelayNode(ros::RosGraph &graph,
             finishWorkOnCpu([this, list, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *list, list->byteSize());
+                const std::size_t bytes = list->byteSize();
+                pub_.publish(header, std::move(*list), bytes);
                 done();
             });
         });
@@ -570,8 +585,8 @@ NaiveMotionPredictNode::NaiveMotionPredictNode(
             finishWorkOnCpu([this, predicted, header, arrival,
                              done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *predicted,
-                             predicted->byteSize());
+                const std::size_t bytes = predicted->byteSize();
+                pub_.publish(header, std::move(*predicted), bytes);
                 done();
             });
         });
@@ -614,7 +629,8 @@ CostmapGeneratorNode::CostmapGeneratorNode(ros::RosGraph &graph,
             task.onComplete = [this, map, header, arrival,
                                done = std::move(done)] {
                 recordLatency(arrival);
-                pub_.publish(header, *map, map->byteSize());
+                const std::size_t bytes = map->byteSize();
+                pub_.publish(header, std::move(*map), bytes);
                 done();
             };
             machine().cpu().submit(std::move(task));
@@ -643,7 +659,8 @@ CostmapGeneratorNode::CostmapGeneratorNode(ros::RosGraph &graph,
                 if (now >= arrival)
                     pointsLatency_.add(
                         sim::ticksToMs(now - arrival));
-                pub_.publish(header, *map, map->byteSize());
+                const std::size_t bytes = map->byteSize();
+                pub_.publish(header, std::move(*map), bytes);
                 done();
             };
             machine().cpu().submit(std::move(task));

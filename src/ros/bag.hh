@@ -71,10 +71,14 @@ class BagChannel final : public BagChannelBase
         sim::EventQueue &eq = graph.eventQueue();
         for (const Stamped<T> &msg : messages_) {
             const sim::Tick when = msg.header.stamp + offset;
+            // One copy per replayed message — the "sensor driver"
+            // producing a fresh frame from the recording. The copy
+            // is made at schedule time (lambda capture) and *moved*
+            // into the transport at fire time; the bag's own copy
+            // stays pristine for the next replay.
             eq.schedule(std::max(when, eq.now()),
-                        [&topic, msg] {
-                            Stamped<T> copy = msg;
-                            topic.publish(std::move(copy));
+                        [&topic, msg]() mutable {
+                            topic.publish(std::move(msg));
                         });
         }
     }

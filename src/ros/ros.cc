@@ -15,6 +15,32 @@ Origins::merged(const Origins &o) const
     return out;
 }
 
+const char *
+transportModeName(TransportMode mode)
+{
+    switch (mode) {
+    case TransportMode::Copy:
+        return "copy";
+    case TransportMode::Loan:
+        return "loan";
+    }
+    util::panic("unknown TransportMode");
+}
+
+bool
+transportModeFromName(const std::string &name, TransportMode &out)
+{
+    if (name == "copy") {
+        out = TransportMode::Copy;
+        return true;
+    }
+    if (name == "loan") {
+        out = TransportMode::Loan;
+        return true;
+    }
+    return false;
+}
+
 void
 TransportFaults::addPolicy(const std::string &topic, Policy policy)
 {
@@ -106,6 +132,15 @@ RosGraph::topics() const
     out.reserve(topics_.size());
     for (const auto &[name, topic] : topics_)
         out.push_back(topic.get());
+    return out;
+}
+
+TransportCounters
+RosGraph::transportCounters() const
+{
+    TransportCounters out;
+    for (const auto &[name, topic] : topics_)
+        out.add(topic->transportCounters());
     return out;
 }
 

@@ -25,7 +25,6 @@
 #ifndef AVSCOPE_ROS_ROS_HH
 #define AVSCOPE_ROS_ROS_HH
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,6 +32,7 @@
 #include <vector>
 
 #include "hw/machine.hh"
+#include "ros/spsc_ring.hh"
 #include "sim/event_queue.hh"
 #include "util/logging.hh"
 
@@ -82,11 +82,86 @@ struct Stamped
     sim::Tick arrival = 0;
 };
 
+/**
+ * A published payload at rest in the middleware: immutable and
+ * shared. In the loaned (zero-copy) transport every subscriber of a
+ * topic holds the *same* Stamped<T> the publisher produced; the
+ * const in the alias is the whole contract — once published, nobody
+ * writes the payload again (avlint's mutable-loan rule enforces the
+ * publisher side statically).
+ */
+template <typename T>
+using MessagePtr = std::shared_ptr<const Stamped<T>>;
+
+/**
+ * How messages move between nodes inside one process.
+ *
+ *  - Copy: the v1 semantics — every delivery deep-copies the payload
+ *    (one private Stamped<T> per subscriber per duplicate), modeling
+ *    a serialize+copy middleware. Kept selectable so old-vs-new is
+ *    benchmarkable forever.
+ *  - Loan: the v2 zero-copy path — the publisher's message moves
+ *    into one immutable shared payload and subscribers borrow it.
+ *
+ * The *simulated* cost model is identical in both modes: transport
+ * delay is still proportional to the serialized size (the paper's
+ * "communication cost is part of every path"), so figures and
+ * tables are byte-identical across modes; only host-side work and
+ * allocation change.
+ */
+enum class TransportMode {
+    Copy,
+    Loan,
+};
+
+/** Stable name for reports/flags ("copy" / "loan"). */
+const char *transportModeName(TransportMode mode);
+
+/** Parse a transport-mode name; false when unknown. */
+bool transportModeFromName(const std::string &name,
+                           TransportMode &out);
+
 /** Inter-node communication cost parameters. */
 struct TransportConfig
 {
     sim::Tick baseLatency = 150 * sim::oneUs; ///< notify + wakeup
     double bandwidthGBs = 2.0; ///< intra-host serialize/copy rate
+    TransportMode mode = TransportMode::Loan; ///< copy vs zero-copy
+};
+
+/**
+ * What the transport actually did to payloads, host-side: the
+ * receipts behind the zero-copy claim. Deterministic for a given
+ * run configuration (counts follow the simulated message flow, not
+ * the host scheduler), so they serialize into cached results.
+ */
+struct TransportCounters
+{
+    std::uint64_t published = 0;  ///< messages entering publish()
+    std::uint64_t deliveries = 0; ///< per-subscriber deliveries
+    /** Deep payload copies made by the transport (Copy mode, or
+     *  fault-forced private copies in Loan mode). */
+    std::uint64_t payloadCopies = 0;
+    /** Deliveries that shared the publisher's immutable payload. */
+    std::uint64_t loanedDeliveries = 0;
+    /** Publishes that moved the payload without any copy (Loan
+     *  mode; includes the single-subscriber fast path). */
+    std::uint64_t movedPublishes = 0;
+    /** Copies forced by transport faults (duplicate deliveries must
+     *  not alias the loaned buffer). Subset of payloadCopies when
+     *  in Loan mode. */
+    std::uint64_t forcedCopies = 0;
+
+    void
+    add(const TransportCounters &o)
+    {
+        published += o.published;
+        deliveries += o.deliveries;
+        payloadCopies += o.payloadCopies;
+        loanedDeliveries += o.loanedDeliveries;
+        movedPublishes += o.movedPublishes;
+        forcedCopies += o.forcedCopies;
+    }
 };
 
 /** Per-subscription queue statistics (Table III source). */
@@ -192,6 +267,12 @@ class TopicBase
     virtual std::vector<const SubscriptionBase *> subscribers()
         const = 0;
 
+    /** Host-side payload accounting for this topic. */
+    const TransportCounters &transportCounters() const
+    {
+        return counters_;
+    }
+
     /**
      * Observe every publication's header synchronously, regardless
      * of payload type (staleness probes, watchdogs).
@@ -202,6 +283,7 @@ class TopicBase
   protected:
     std::string name_;
     std::uint64_t published_ = 0;
+    TransportCounters counters_;
 };
 
 /**
@@ -278,7 +360,15 @@ class Node
     bool down_ = false;
 };
 
-/** Typed subscription with a drop-oldest bounded queue. */
+/**
+ * Typed subscription with a drop-oldest bounded queue.
+ *
+ * The queue is a lock-free SPSC ring (spsc_ring.hh) of borrowed
+ * payloads: entries share ownership of the publisher's immutable
+ * message instead of holding private copies, so a point cloud
+ * sitting in three queues exists once. Drop/delivery accounting is
+ * unchanged from v1 — Table III falls out of the same counters.
+ */
 template <typename T>
 class Subscription final : public SubscriptionBase
 {
@@ -286,26 +376,22 @@ class Subscription final : public SubscriptionBase
     Subscription(std::string topic, Node *node, std::size_t depth,
                  Node::Handler<T> handler)
         : SubscriptionBase(std::move(topic), node, depth),
-          handler_(std::move(handler))
+          pending_(depth), handler_(std::move(handler))
     {
         AV_ASSERT(depth_ > 0, "queue depth must be positive");
     }
 
     /** Called by Topic<T> when a message reaches this subscriber. */
     void
-    deliver(Stamped<T> msg, sim::Tick arrival)
+    deliver(MessagePtr<T> msg, sim::Tick arrival)
     {
         if (node_->down()) {
             ++stats_.crashDiscarded;
             return;
         }
-        msg.arrival = arrival;
         ++stats_.delivered;
-        if (pending_.size() >= depth_) {
-            pending_.pop_front();
-            ++stats_.dropped;
-        }
-        pending_.push_back(Pending{arrival, std::move(msg)});
+        stats_.dropped +=
+            pending_.pushDropOldest(Pending{arrival, std::move(msg)});
         node_->tryDispatch();
     }
 
@@ -314,34 +400,36 @@ class Subscription final : public SubscriptionBase
     sim::Tick
     headArrival() const override
     {
-        return pending_.front().arrival;
+        const Pending *head = pending_.peek();
+        AV_ASSERT(head != nullptr, "headArrival on empty queue");
+        return head->arrival;
     }
 
     void
     dispatchHead(std::function<void()> done) override
     {
-        Pending p = std::move(pending_.front());
-        pending_.pop_front();
+        Pending p;
+        const bool had = pending_.pop(&p);
+        AV_ASSERT(had, "dispatchHead on empty queue");
         ++stats_.processed;
-        handler_(p.msg, std::move(done));
+        handler_(*p.msg, std::move(done));
     }
 
     std::size_t
     clearPending() override
     {
-        const std::size_t n = pending_.size();
+        const std::size_t n = pending_.clear();
         stats_.crashDiscarded += n;
-        pending_.clear();
         return n;
     }
 
   private:
     struct Pending
     {
-        sim::Tick arrival;
-        Stamped<T> msg;
+        sim::Tick arrival = 0;
+        MessagePtr<T> msg;
     };
-    std::deque<Pending> pending_;
+    SpscRing<Pending> pending_;
     Node::Handler<T> handler_;
 };
 
@@ -385,11 +473,21 @@ class Topic final : public TopicBase
      * delay for its size. Taps observe the publication even when a
      * transport fault suppresses delivery — the publisher produced
      * the message; the wire lost it.
+     *
+     * Ownership: the message is *loaned* to the transport. In Loan
+     * mode it moves into one immutable shared payload that every
+     * subscriber borrows (zero per-subscriber copies; with exactly
+     * one subscriber the move is the whole transfer). In Copy mode
+     * — and for fault-duplicated deliveries, which model a second,
+     * independent trip through the wire — each delivery gets a
+     * private deep copy. Either way the caller's object is consumed:
+     * touching it after publish is a bug (avlint: mutable-loan).
      */
     void
     publish(Message msg)
     {
         msg.header.seq = published_++;
+        ++counters_.published;
         for (const Tap &tap : taps_)
             tap(msg);
         Disruption bad;
@@ -411,13 +509,39 @@ class Topic final : public TopicBase
             eq_.scheduleAfter(delay, [] {});
             return;
         }
+        if (subs_.empty())
+            return;
+        // Every subscriber of one publication sees the same arrival
+        // tick, so the delivery stamp can live in the immutable
+        // payload itself — set before the loan is sealed. Taps run
+        // first: bags record messages at rest (arrival 0), exactly
+        // as v1 did.
+        msg.arrival = eq_.now() + delay;
         const unsigned copies = 1 + bad.duplicates;
+        if (transport_.mode == TransportMode::Loan &&
+            bad.duplicates == 0) {
+            // Zero-copy path: seal the payload once (a move — for
+            // a point cloud this steals the buffer) and loan it to
+            // every subscriber.
+            ++counters_.movedPublishes;
+            MessagePtr<T> loan =
+                std::make_shared<const Stamped<T>>(std::move(msg));
+            for (Subscription<T> *sub : subs_) {
+                ++counters_.deliveries;
+                ++counters_.loanedDeliveries;
+                scheduleDelivery(sub, loan, delay);
+            }
+            return;
+        }
         for (Subscription<T> *sub : subs_) {
             for (unsigned i = 0; i < copies; ++i) {
-                eq_.scheduleAfter(delay, [this, sub, msg] {
-                    Stamped<T> copy = msg;
-                    sub->deliver(std::move(copy), eq_.now());
-                });
+                ++counters_.deliveries;
+                ++counters_.payloadCopies;
+                if (transport_.mode == TransportMode::Loan)
+                    ++counters_.forcedCopies;
+                scheduleDelivery(
+                    sub, std::make_shared<const Stamped<T>>(msg),
+                    delay);
             }
         }
     }
@@ -432,6 +556,16 @@ class Topic final : public TopicBase
     }
 
   private:
+    void
+    scheduleDelivery(Subscription<T> *sub, MessagePtr<T> msg,
+                     sim::Tick delay)
+    {
+        eq_.scheduleAfter(delay,
+                          [this, sub, msg = std::move(msg)] {
+                              sub->deliver(msg, eq_.now());
+                          });
+    }
+
     sim::EventQueue &eq_;
     TransportConfig transport_;
     const TransportFaults *faults_;
@@ -514,6 +648,9 @@ class RosGraph
 
     /** All topics, for reporting. */
     std::vector<const TopicBase *> topics() const;
+
+    /** Host-side payload accounting summed across all topics. */
+    TransportCounters transportCounters() const;
 
     /** The named topic if it exists (type-erased), else nullptr. */
     TopicBase *findTopic(const std::string &name);

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Lock-free bounded single-producer/single-consumer ring with
+ * drop-oldest overflow — the v2 hot-path queue behind every
+ * Subscription (DESIGN.md §12).
+ *
+ * The structure is the classic sequence-stamped bounded queue
+ * (Vyukov): each cell carries an atomic sequence number that hands
+ * the cell back and forth between producer and consumer, so an
+ * enqueue and a dequeue never touch the same cell without an
+ * acquire/release edge between them. On top of that the ring
+ * enforces a *logical* capacity (the subscription's queue depth,
+ * which need not be a power of two) with the same drop-oldest
+ * semantics the paper's Table III counts: when a push would exceed
+ * the depth, the oldest entry is popped and discarded first.
+ *
+ * Within one simulated drive the ring is only ever touched from the
+ * event-loop thread, where its behaviour is exactly the old
+ * std::deque path (bit-for-bit: same drops, same order) minus the
+ * per-node allocations. The lock-free protocol is what lets probes,
+ * watchdogs or future multi-process shims observe queues from other
+ * threads without a mutex on the hot path; tests/ros stress it with
+ * a real producer/consumer thread pair under TSan.
+ */
+
+#ifndef AVSCOPE_ROS_SPSC_RING_HH
+#define AVSCOPE_ROS_SPSC_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace av::ros {
+
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity logical bound (> 0); storage rounds up to a
+     *  power of two internally. */
+    explicit SpscRing(std::size_t capacity)
+        : capacity_(capacity)
+    {
+        AV_ASSERT(capacity > 0, "ring capacity must be positive");
+        std::size_t physical = 1;
+        while (physical < capacity)
+            physical <<= 1;
+        cells_ = std::vector<Cell>(physical);
+        mask_ = physical - 1;
+        for (std::size_t i = 0; i < physical; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Producer: append @p value unless the ring already holds
+     * capacity() entries. @p value is moved from only on success.
+     */
+    bool
+    tryPush(T &value)
+    {
+        if (size() >= capacity_)
+            return false;
+        return enqueue(value);
+    }
+
+    /**
+     * Producer: append @p value, discarding oldest entries as needed
+     * to respect the logical capacity.
+     * @return the number of entries discarded (0 when there was room).
+     */
+    std::size_t
+    pushDropOldest(T value)
+    {
+        std::size_t dropped = 0;
+        while (size() >= capacity_) {
+            T junk;
+            if (!dequeue(&junk))
+                break; // consumer drained it concurrently
+            ++dropped;
+        }
+        while (!enqueue(value)) {
+            // Physically full (concurrent consumer raced the size
+            // check): make room the same drop-oldest way.
+            T junk;
+            if (dequeue(&junk))
+                ++dropped;
+        }
+        return dropped;
+    }
+
+    /** Consumer: move the oldest entry into @p out. */
+    bool pop(T *out) { return dequeue(out); }
+
+    /**
+     * Consumer: the oldest entry, or nullptr when empty. Only the
+     * (single) consumer may hold this pointer, and only until its
+     * next pop()/clear().
+     */
+    const T *
+    peek() const
+    {
+        const std::uint64_t pos =
+            head_.load(std::memory_order_relaxed);
+        const Cell &cell = cells_[pos & mask_];
+        if (cell.seq.load(std::memory_order_acquire) != pos + 1)
+            return nullptr;
+        return &cell.value;
+    }
+
+    /** Consumer: discard everything; @return entries discarded. */
+    std::size_t
+    clear()
+    {
+        std::size_t n = 0;
+        T junk;
+        while (dequeue(&junk))
+            ++n;
+        return n;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Entries currently queued (exact when quiescent; a snapshot
+     *  under concurrent access). */
+    std::size_t
+    size() const
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_acquire);
+        const std::uint64_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail <= head)
+            return 0;
+        const std::uint64_t used = tail - head;
+        return used > cells_.size() ? cells_.size()
+                                    : static_cast<std::size_t>(used);
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::uint64_t> seq{0};
+        T value{};
+    };
+
+    bool
+    enqueue(T &value)
+    {
+        std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+        Cell *cell = nullptr;
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell->seq.load(std::memory_order_acquire);
+            const auto dif =
+                static_cast<std::int64_t>(seq - pos);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // physically full
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        cell->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    dequeue(T *out)
+    {
+        std::uint64_t pos = head_.load(std::memory_order_relaxed);
+        Cell *cell = nullptr;
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell->seq.load(std::memory_order_acquire);
+            const auto dif =
+                static_cast<std::int64_t>(seq - (pos + 1));
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // empty
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        *out = std::move(cell->value);
+        cell->seq.store(pos + mask_ + 1,
+                        std::memory_order_release);
+        return true;
+    }
+
+    std::size_t capacity_;
+    std::size_t mask_ = 0;
+    std::vector<Cell> cells_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+} // namespace av::ros
+
+#endif // AVSCOPE_ROS_SPSC_RING_HH

@@ -113,10 +113,14 @@ TEST(Determinism, FaultedRunsByteIdenticalAcrossWorkerCounts)
                 .seed(2020)
                 .faults(plan)
                 .degraded()
+                // Pin the v2 loaned transport explicitly: faulted
+                // runs (duplication forces private copies) must stay
+                // byte-identical across worker counts on it.
+                .transportMode(av::ros::TransportMode::Loan)
                 .named(av::perception::detectorName(kind)));
 
     exp::Runner serial(exp::RunnerConfig{1, ""});
-    exp::Runner parallel(exp::RunnerConfig{3, ""});
+    exp::Runner parallel(exp::RunnerConfig{4, ""});
     for (const auto &s : specs) {
         serial.submit(s);
         parallel.submit(s);
@@ -135,8 +139,10 @@ TEST(Determinism, FaultedRunsByteIdenticalAcrossWorkerCounts)
         ASSERT_FALSE(a.empty());
         EXPECT_EQ(a, b) << "faulted run " << i
                         << " differs across worker counts";
-        // The entry must carry fault outcomes, not an empty table.
+        // The entry must carry fault outcomes, not an empty table,
+        // and record which transport replayed it.
         EXPECT_NE(a.find("faults 5"), std::string::npos);
+        EXPECT_NE(a.find("transport loan"), std::string::npos);
     }
 }
 

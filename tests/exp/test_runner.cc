@@ -176,6 +176,10 @@ TEST(Runner, CacheKeyCoversEveryReplayField)
          [](exp::ExperimentSpec &s) {
              s.config.transport.bandwidthGBs *= 2.0;
          }},
+        {"transport mode",
+         [](exp::ExperimentSpec &s) {
+             s.transportMode(ros::TransportMode::Copy);
+         }},
         {"node calibration",
          [](exp::ExperimentSpec &s) {
              s.config.calibration.ndtMatching.workScale *= 1.01;
@@ -234,6 +238,45 @@ TEST(Runner, CacheKeyCoversEveryReplayField)
     EXPECT_NE(exp::driveKey(other_seed), exp::driveKey(base));
 }
 
+TEST(Runner, TransportModesProduceIdenticalSimulatedResults)
+{
+    // The copy-vs-loan switch is host-side only: the same drive
+    // replayed under both transports must measure the same
+    // latencies, drops, counters, power — everything except the
+    // transport accounting itself (mode name + copy counters).
+    auto loanSpec =
+        exp::spec().durationSeconds(6).seed(11).named("same");
+    auto copySpec = loanSpec;
+    loanSpec.transportMode(ros::TransportMode::Loan);
+    copySpec.transportMode(ros::TransportMode::Copy);
+    ASSERT_NE(exp::cacheKey(loanSpec), exp::cacheKey(copySpec));
+
+    exp::Runner runner(exp::RunnerConfig{2, ""});
+    const std::size_t loanJob = runner.submit(loanSpec);
+    const std::size_t copyJob = runner.submit(copySpec);
+    prof::RunResult loan = runner.result(loanJob);
+    prof::RunResult copy = runner.result(copyJob);
+
+    EXPECT_EQ(loan.transportMode, "loan");
+    EXPECT_EQ(copy.transportMode, "copy");
+    // The loaned path really eliminated the per-subscriber copies
+    // the v1 path made — on the same message flow.
+    EXPECT_EQ(loan.transport.payloadCopies, 0u);
+    EXPECT_GT(copy.transport.payloadCopies, 0u);
+    EXPECT_EQ(loan.transport.deliveries, copy.transport.deliveries);
+    EXPECT_EQ(loan.transport.published, copy.transport.published);
+
+    // Blank the transport accounting on both and the serialized
+    // results must be byte-identical.
+    loan.transportMode.clear();
+    copy.transportMode.clear();
+    loan.transport = ros::TransportCounters{};
+    copy.transport = ros::TransportCounters{};
+    const std::string dir = freshDir("transport_modes");
+    EXPECT_EQ(serialized(dir, "loan", loan),
+              serialized(dir, "copy", copy));
+}
+
 TEST(Runner, ThrowingExperimentPropagatesWithoutDeadlock)
 {
     // A fault plan naming an unknown node throws from the
@@ -289,7 +332,7 @@ TEST(Runner, CorruptedCacheEntryIsAMiss)
     // Same for arbitrary garbage replacing the payload.
     {
         std::ofstream os(path, std::ios::binary | std::ios::trunc);
-        os << "avscope-result 2\nlabel x\nnodes 999999999\n";
+        os << "avscope-result 3\nlabel x\nnodes 999999999\n";
     }
     EXPECT_FALSE(cache.load(exp::cacheKey(spec)).has_value());
 }

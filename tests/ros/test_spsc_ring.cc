@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the lock-free SPSC drop-oldest ring behind the v2
+ * transport's subscription queues: bounded capacity, wraparound,
+ * drop-oldest ordering, peek/clear, and a real producer/consumer
+ * thread pair (run under TSan by scripts/check.sh to prove the
+ * cross-thread acquire/release protocol clean).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ros/spsc_ring.hh"
+
+namespace {
+
+using av::ros::SpscRing;
+
+TEST(SpscRing, StartsEmpty)
+{
+    SpscRing<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.peek(), nullptr);
+    int out = 0;
+    EXPECT_FALSE(ring.pop(&out));
+}
+
+TEST(SpscRing, PushPopFifo)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i) {
+        int v = i;
+        EXPECT_TRUE(ring.tryPush(v));
+    }
+    EXPECT_EQ(ring.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        int out = -1;
+        ASSERT_TRUE(ring.pop(&out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TryPushRefusesWhenLogicallyFull)
+{
+    // Logical capacity 3 rounds up to 4 physical cells; the logical
+    // bound is what tryPush must enforce.
+    SpscRing<int> ring(3);
+    EXPECT_EQ(ring.capacity(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        int v = i;
+        EXPECT_TRUE(ring.tryPush(v));
+    }
+    int extra = 99;
+    EXPECT_FALSE(ring.tryPush(extra));
+    EXPECT_EQ(extra, 99); // not moved from on failure
+    EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(SpscRing, DropOldestKeepsNewestInOrder)
+{
+    SpscRing<int> ring(2);
+    std::size_t dropped = 0;
+    for (int i = 0; i < 5; ++i)
+        dropped += ring.pushDropOldest(i);
+    // 0..2 displaced; 3 and 4 remain in FIFO order.
+    EXPECT_EQ(dropped, 3u);
+    int out = -1;
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out, 3);
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out, 4);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WraparoundManyTimes)
+{
+    SpscRing<int> ring(3);
+    // Push/pop far past the physical size so head/tail wrap the
+    // index mask repeatedly; FIFO order must survive every lap.
+    for (int i = 0; i < 1000; ++i) {
+        int v = i;
+        ASSERT_TRUE(ring.tryPush(v));
+        int out = -1;
+        ASSERT_TRUE(ring.pop(&out));
+        ASSERT_EQ(out, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, InterleavedFillDrainWraparound)
+{
+    SpscRing<int> ring(4);
+    int next_push = 0, next_pop = 0;
+    for (int lap = 0; lap < 50; ++lap) {
+        while (ring.size() < ring.capacity()) {
+            int v = next_push++;
+            ASSERT_TRUE(ring.tryPush(v));
+        }
+        // Drain half, keeping the ring partially full across laps.
+        for (int i = 0; i < 2; ++i) {
+            int out = -1;
+            ASSERT_TRUE(ring.pop(&out));
+            ASSERT_EQ(out, next_pop++);
+        }
+    }
+    while (!ring.empty()) {
+        int out = -1;
+        ASSERT_TRUE(ring.pop(&out));
+        ASSERT_EQ(out, next_pop++);
+    }
+    EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, PeekSeesHeadWithoutConsuming)
+{
+    SpscRing<int> ring(4);
+    int v = 7;
+    ASSERT_TRUE(ring.tryPush(v));
+    v = 8;
+    ASSERT_TRUE(ring.tryPush(v));
+    const int *head = ring.peek();
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(*head, 7);
+    EXPECT_EQ(ring.size(), 2u);
+    int out = -1;
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out, 7);
+    head = ring.peek();
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(*head, 8);
+}
+
+TEST(SpscRing, ClearDiscardsEverything)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i) {
+        int v = i;
+        ASSERT_TRUE(ring.tryPush(v));
+    }
+    EXPECT_EQ(ring.clear(), 4u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.peek(), nullptr);
+    // Still usable after a clear.
+    int v = 42;
+    ASSERT_TRUE(ring.tryPush(v));
+    int out = -1;
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out, 42);
+}
+
+TEST(SpscRing, MoveOnlyPayloads)
+{
+    SpscRing<std::unique_ptr<int>> ring(2);
+    auto p = std::make_unique<int>(5);
+    ASSERT_TRUE(ring.tryPush(p));
+    EXPECT_EQ(p, nullptr); // moved from on success
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(ring.pop(&out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 5);
+}
+
+TEST(SpscRing, ProducerConsumerThreadsDeliverEverything)
+{
+    // Real cross-thread traffic: every value pushed must arrive
+    // exactly once, in order. scripts/check.sh runs this under TSan,
+    // which is what proves the acquire/release protocol has no race.
+    constexpr std::uint64_t kOps = 100000;
+    SpscRing<std::uint64_t> ring(128);
+    std::vector<std::uint64_t> received;
+    received.reserve(kOps);
+
+    std::thread producer([&ring] {
+        for (std::uint64_t i = 1; i <= kOps; ++i) {
+            std::uint64_t v = i;
+            while (!ring.tryPush(v))
+                std::this_thread::yield();
+        }
+    });
+    std::thread consumer([&ring, &received] {
+        while (received.size() < kOps) {
+            std::uint64_t out = 0;
+            if (ring.pop(&out))
+                received.push_back(out);
+            else
+                std::this_thread::yield();
+        }
+    });
+    producer.join();
+    consumer.join();
+
+    ASSERT_EQ(received.size(), kOps);
+    for (std::uint64_t i = 0; i < kOps; ++i)
+        ASSERT_EQ(received[i], i + 1);
+}
+
+TEST(SpscRing, ConcurrentDropOldestNeverLosesNewest)
+{
+    // Producer uses the drop-oldest path while the consumer drains:
+    // totals must reconcile (pushed == popped + dropped) and the
+    // consumer must observe a strictly increasing sequence.
+    constexpr std::uint64_t kOps = 100000;
+    SpscRing<std::uint64_t> ring(8);
+    std::atomic<bool> stop{false};
+    std::uint64_t dropped = 0;
+
+    std::thread producer([&ring, &dropped, &stop] {
+        for (std::uint64_t i = 1; i <= kOps; ++i)
+            dropped += ring.pushDropOldest(i);
+        stop.store(true, std::memory_order_release);
+    });
+
+    std::uint64_t popped = 0, last = 0;
+    bool monotonic = true;
+    while (!stop.load(std::memory_order_acquire) || !ring.empty()) {
+        std::uint64_t out = 0;
+        if (ring.pop(&out)) {
+            monotonic = monotonic && out > last;
+            last = out;
+            ++popped;
+        }
+    }
+    producer.join();
+
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(popped + dropped, kOps);
+    EXPECT_EQ(last, kOps); // the newest value always survives
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+// Messages read after being loaned to publish(std::move(...));
+// hoisted reads, reassignments and fresh scopes must stay quiet.
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace av::fixture {
+
+struct Msg
+{
+    std::size_t byteSize() const;
+};
+
+struct Pub
+{
+    void publish(int header, Msg data, std::size_t bytes);
+};
+
+void
+useAfterLoan(Pub &pub, Msg msg)
+{
+    pub.publish(0, std::move(msg), 64);
+    (void)msg.byteSize(); // line 23: mutable-loan
+}
+
+void
+readInSameCall(Pub &pub, std::shared_ptr<Msg> out)
+{
+    // Argument evaluation order is unspecified: byteSize() may run
+    // after the move. line 31: mutable-loan
+    pub.publish(0, std::move(*out), out->byteSize());
+}
+
+void
+hoistedRead(Pub &pub, std::shared_ptr<Msg> out)
+{
+    const std::size_t bytes = out->byteSize(); // legal: hoisted
+    pub.publish(0, std::move(*out), bytes);
+}
+
+void
+reassignedAfterLoan(Pub &pub, Msg msg)
+{
+    pub.publish(0, std::move(msg), 64);
+    msg = Msg{}; // legal: re-seats the name
+    (void)msg.byteSize();
+}
+
+void
+loanEndsWithScope(Pub &pub)
+{
+    {
+        Msg msg;
+        pub.publish(0, std::move(msg), 64);
+    }
+    Msg msg; // legal: a different object in a fresh scope
+    (void)msg.byteSize();
+}
+
+} // namespace av::fixture

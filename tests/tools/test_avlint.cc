@@ -157,6 +157,22 @@ TEST(Avlint, UnseededRandomFlaggedInLibraryCodeOnly)
     EXPECT_TRUE(in_bench.empty());
 }
 
+TEST(Avlint, MutableLoanFlagsReadsAfterPublishMove)
+{
+    // Fires in every tree (the loan contract is not src/-specific):
+    // a read after publish(std::move(...)) and a sibling argument
+    // evaluated in the same call; hoisted reads, reassignment and
+    // fresh scopes stay quiet.
+    const auto in_src = lintFile(fixture("mutable_loan.cc"),
+                                 "src/fixture/mutable_loan.cc");
+    EXPECT_EQ(ruleLines(in_src), (Pairs{{"mutable-loan", 23},
+                                        {"mutable-loan", 31}}));
+
+    const auto in_bench = lintFile(fixture("mutable_loan.cc"),
+                                   "bench/mutable_loan.cc");
+    EXPECT_EQ(ruleLines(in_bench), ruleLines(in_src));
+}
+
 TEST(Avlint, SuppressionCommentSilencesSameAndNextLine)
 {
     const auto diags = lintFile(fixture("suppressed.cc"),
@@ -174,8 +190,10 @@ TEST(Avlint, FileLevelSuppressionSilencesWholeFile)
 TEST(Avlint, RuleCatalogIsStable)
 {
     const auto names = av::lint::ruleNames();
-    EXPECT_EQ(names.size(), 9u);
+    EXPECT_EQ(names.size(), 10u);
     EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "mutable-loan"),
               names.end());
 }
 

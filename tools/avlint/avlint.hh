@@ -31,6 +31,11 @@
  *                     in src/ without an explicit seed — every
  *                     stream must be seeded (or fork()ed) to keep
  *                     replays byte-identical
+ *   mutable-loan      reading a message after loaning it to
+ *                     publish(std::move(...)) — the v2 transport
+ *                     owns the payload from that point (DESIGN.md
+ *                     §12), and sibling arguments in the same call
+ *                     race the move; hoist reads before publishing
  *
  * A diagnostic on line N is silenced by `// avlint: allow(<rule>)` on
  * the same line, or on a comment-only line directly above. A

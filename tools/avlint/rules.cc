@@ -609,6 +609,83 @@ ruleUnseededRandom(const SourceFile &f, Diags &out)
     }
 }
 
+// ---------------------------------------------------------------
+// mutable-loan: reading a message after handing it to
+// publish(std::move(...)). Under the loaned transport (DESIGN.md
+// §12) publish takes ownership of the payload, so the moved-from
+// object is hollow — and a sibling argument such as
+// `out->byteSize()` evaluated in the same call races the move
+// (argument evaluation order is unspecified). Reads must be hoisted
+// before the publish; reassigning the name ends tracking.
+// ---------------------------------------------------------------
+
+void
+ruleMutableLoan(const SourceFile &f, Diags &out)
+{
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier ||
+            toks[i].text != "publish" || i + 1 >= toks.size() ||
+            toks[i + 1].text != "(")
+            continue;
+        const std::size_t callEnd = skipParens(toks, i + 1);
+
+        // Find `std::move(<*>name)` inside the argument list. Only a
+        // plain (possibly dereferenced) name is trackable; moves of
+        // member expressions are left to the sanitizers.
+        std::string name;
+        std::size_t moveEnd = 0;
+        for (std::size_t j = i + 2; j + 4 < callEnd; ++j) {
+            if (toks[j].text != "std" || toks[j + 1].text != ":" ||
+                toks[j + 2].text != ":" ||
+                toks[j + 3].text != "move" ||
+                toks[j + 4].text != "(")
+                continue;
+            std::size_t k = j + 5;
+            if (k < callEnd && toks[k].text == "*")
+                ++k;
+            if (k + 1 < callEnd &&
+                toks[k].kind == TokenKind::Identifier &&
+                toks[k + 1].text == ")") {
+                name = toks[k].text;
+                moveEnd = k + 2;
+            }
+            break;
+        }
+        if (name.empty())
+            continue;
+
+        // Track the loaned name until its scope closes or it is
+        // reassigned; any read in between (including later arguments
+        // of the publish call itself) uses the moved-from message.
+        int depth = 0;
+        for (std::size_t j = moveEnd; j < toks.size(); ++j) {
+            const std::string &w = toks[j].text;
+            if (w == "{") {
+                ++depth;
+            } else if (w == "}") {
+                if (--depth < 0)
+                    break;
+            } else if (toks[j].kind == TokenKind::Identifier &&
+                       w == name) {
+                // `name = ...` re-seats the handle and is legal.
+                const bool reassign =
+                    j + 1 < toks.size() &&
+                    toks[j + 1].text == "=" &&
+                    (j + 2 >= toks.size() ||
+                     toks[j + 2].text != "=");
+                if (!reassign)
+                    emit(out, f, toks[j].line, "mutable-loan",
+                         "'" + name + "' read after being loaned to"
+                         " publish(std::move(...)); the transport"
+                         " owns the payload now — hoist the read"
+                         " (e.g. byteSize()) above the publish");
+                break;
+            }
+        }
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -619,7 +696,7 @@ ruleNames()
         "include-guard",     "using-namespace-header",
         "unordered-iter",    "raw-new-delete",
         "print-in-library",  "mutable-global",
-        "unseeded-random",
+        "unseeded-random",   "mutable-loan",
     };
 }
 
@@ -636,6 +713,7 @@ lintSource(const SourceFile &file, const SourceFile *companion)
     rulePrintInLibrary(file, all);
     ruleMutableGlobal(file, all);
     ruleUnseededRandom(file, all);
+    ruleMutableLoan(file, all);
 
     Diags kept;
     for (Diagnostic &d : all)
