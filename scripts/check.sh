@@ -4,10 +4,13 @@
 #   1. tier-1 verify: default configure + build + ctest
 #      (then the fault-injection smoke by its ctest label)
 #   2. avlint over the whole tree
-#   3. rebuild + ctest under AddressSanitizer + UBSan, then the
+#   3. avgraph: the static pub/sub topology contract over src/
+#      (regenerates results/topology.{json,dot}), then the ctest
+#      label 'graph'
+#   4. rebuild + ctest under AddressSanitizer + UBSan, then the
 #      transport microbench smoke (lock-free SPSC ring + loaned
 #      messages, DESIGN.md §12) under the same build
-#   4. rebuild + ctest under ThreadSanitizer (the Runner's worker
+#   5. rebuild + ctest under ThreadSanitizer (the Runner's worker
 #      pool and result cache run real threads; TSan proves the
 #      isolation contract DESIGN.md §10 describes), then the
 #      transport microbench smoke again — TSan is what proves the
@@ -39,6 +42,12 @@ ctest --test-dir "$BUILD" --output-on-failure -L fault
 
 step "avlint"
 "$BUILD/tools/avlint/avlint" --root "$ROOT"
+
+step "avgraph (static pub/sub topology contract, ctest label 'graph')"
+"$BUILD/tools/avgraph/avgraph" --root "$ROOT" \
+    --json "$ROOT/results/topology.json" \
+    --dot "$ROOT/results/topology.dot"
+ctest --test-dir "$BUILD" --output-on-failure -L graph
 
 step "sanitizers: configure + build ($ASAN_BUILD)"
 cmake -B "$ASAN_BUILD" -S "$ROOT" \

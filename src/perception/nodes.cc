@@ -25,7 +25,7 @@ VoxelGridFilterNode::VoxelGridFilterNode(ros::RosGraph &graph,
                                          const NodeConfig &config,
                                          double leaf)
     : PerceptionNode(graph, "voxel_grid_filter", config), leaf_(leaf),
-      pub_(graph.advertise<pc::PointCloud>(topics::filteredPoints))
+      pub_(graph.advertise<pc::PointCloud>(topics::filteredPoints, name()))
 {
     subscribe<pc::PointCloud>(
         world::topics::pointsRaw, 1,
@@ -60,7 +60,7 @@ NdtMatchingNode::NdtMatchingNode(ros::RosGraph &graph,
                                  sim::Tick reseed_after)
     : PerceptionNode(graph, "ndt_matching", config), matcher_(ndt),
       initialPose_(initial_pose), reseedAfter_(reseed_after),
-      pub_(graph.advertise<PoseEstimate>(topics::ndtPose))
+      pub_(graph.advertise<PoseEstimate>(topics::ndtPose, name()))
 {
     matcher_.setMap(map);
 
@@ -186,8 +186,10 @@ RayGroundFilterNode::RayGroundFilterNode(ros::RosGraph &graph,
     : PerceptionNode(graph, "ray_ground_filter", config),
       filter_(filter),
       pubNoGround_(
-          graph.advertise<pc::PointCloud>(topics::pointsNoGround)),
-      pubGround_(graph.advertise<pc::PointCloud>(topics::pointsGround))
+          graph.advertise<pc::PointCloud>(topics::pointsNoGround,
+                                          name())),
+      pubGround_(graph.advertise<pc::PointCloud>(topics::pointsGround,
+                                                 name()))
 {
     subscribe<pc::PointCloud>(
         world::topics::pointsRaw, 1,
@@ -222,7 +224,7 @@ EuclideanClusterNode::EuclideanClusterNode(ros::RosGraph &graph,
                                            bool use_gpu)
     : PerceptionNode(graph, "euclidean_cluster", config),
       cluster_(cluster), useGpu_(use_gpu),
-      pub_(graph.advertise<ObjectList>(topics::lidarObjects))
+      pub_(graph.advertise<ObjectList>(topics::lidarObjects, name()))
 {
     subscribe<PoseEstimate>(
         topics::ndtPose, 2,
@@ -322,7 +324,7 @@ VisionDetectorNode::VisionDetectorNode(
                           : dnn::buildYolov3_416())),
       kernels_(dnn::networkKernels(network_, gpu_params)),
       rng_(0xde7ec7 ^ static_cast<std::uint64_t>(kind)),
-      pub_(graph.advertise<ObjectList>(topics::imageObjects))
+      pub_(graph.advertise<ObjectList>(topics::imageObjects, name()))
 {
     subscribe<world::CameraFrame>(
         world::topics::imageRaw, 1,
@@ -384,7 +386,7 @@ RangeVisionFusionNode::RangeVisionFusionNode(ros::RosGraph &graph,
                                              sim::Tick vision_stale_after)
     : PerceptionNode(graph, "range_vision_fusion", config),
       fusion_(fusion), visionStaleAfter_(vision_stale_after),
-      pub_(graph.advertise<ObjectList>(topics::fusedObjects))
+      pub_(graph.advertise<ObjectList>(topics::fusedObjects, name()))
 {
     subscribe<PoseEstimate>(
         topics::ndtPose, 2,
@@ -481,7 +483,7 @@ ImmUkfPdaNode::ImmUkfPdaNode(ros::RosGraph &graph,
                              sim::Tick coast_period)
     : PerceptionNode(graph, "imm_ukf_pda_tracker", config),
       tracker_(tracker), coastAfter_(coast_after),
-      pub_(graph.advertise<ObjectList>(topics::trackedObjects))
+      pub_(graph.advertise<ObjectList>(topics::trackedObjects, name()))
 {
     subscribe<ObjectList>(
         topics::fusedObjects, 1,
@@ -538,7 +540,7 @@ ImmUkfPdaNode::maybeCoast()
 TrackRelayNode::TrackRelayNode(ros::RosGraph &graph,
                                const NodeConfig &config)
     : PerceptionNode(graph, "ukf_track_relay", config),
-      pub_(graph.advertise<ObjectList>(topics::objects))
+      pub_(graph.advertise<ObjectList>(topics::objects, name()))
 {
     subscribe<ObjectList>(
         topics::trackedObjects, 5,
@@ -571,7 +573,7 @@ NaiveMotionPredictNode::NaiveMotionPredictNode(
     const PredictConfig &predict)
     : PerceptionNode(graph, "naive_motion_prediction", config),
       predict_(predict),
-      pub_(graph.advertise<ObjectList>(topics::predictedObjects))
+      pub_(graph.advertise<ObjectList>(topics::predictedObjects, name()))
 {
     subscribe<ObjectList>(
         topics::objects, 1,
@@ -599,7 +601,7 @@ CostmapGeneratorNode::CostmapGeneratorNode(ros::RosGraph &graph,
                                            const CostmapConfig &costmap)
     : PerceptionNode(graph, "costmap_generator", config),
       costmap_(costmap), pointsLatency_(1u << 15),
-      pub_(graph.advertise<Costmap>(topics::costmap))
+      pub_(graph.advertise<Costmap>(topics::costmap, name()))
 {
     subscribe<PoseEstimate>(
         topics::ndtPose, 2,

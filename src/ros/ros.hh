@@ -247,6 +247,8 @@ class SubscriptionBase
     const std::string &topicName() const { return topicName_; }
     const SubscriptionStats &stats() const { return stats_; }
     Node *node() const { return node_; }
+    /** Bounded queue capacity (static analysis cross-checks this). */
+    std::size_t queueDepth() const { return depth_; }
 
   protected:
     std::string topicName_;
@@ -280,10 +282,33 @@ class TopicBase
     virtual void addHeaderTap(
         std::function<void(const Header &)> tap) = 0;
 
+    /**
+     * Node names that advertised this topic, in advertise order.
+     * Empty for topics only ever published externally (bag replay,
+     * probes) — those never pass a publisher name.
+     */
+    const std::vector<std::string> &advertisers() const
+    {
+        return advertisers_;
+    }
+
+    /** Record @p publisher as an advertiser ("" is anonymous). */
+    void
+    recordAdvertiser(const std::string &publisher)
+    {
+        if (publisher.empty())
+            return;
+        for (const std::string &a : advertisers_)
+            if (a == publisher)
+                return;
+        advertisers_.push_back(publisher);
+    }
+
   protected:
     std::string name_;
     std::uint64_t published_ = 0;
     TransportCounters counters_;
+    std::vector<std::string> advertisers_;
 };
 
 /**
@@ -638,12 +663,20 @@ class RosGraph
         return *typed;
     }
 
-    /** Create a Publisher for @p name. */
+    /**
+     * Create a Publisher for @p name. @p publisher, when given, is
+     * the advertising node's name — the middleware records it so the
+     * registered topology can be enumerated (topology.hh) and
+     * cross-checked against avgraph's static extraction.
+     */
     template <typename T>
     Publisher<T>
-    advertise(const std::string &name)
+    advertise(const std::string &name,
+              const std::string &publisher = {})
     {
-        return Publisher<T>(&topic<T>(name));
+        Topic<T> &t = topic<T>(name);
+        t.recordAdvertiser(publisher);
+        return Publisher<T>(&t);
     }
 
     /** All topics, for reporting. */

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Canonical enumeration of the registered pub/sub graph.
+ */
+
+#include "ros/topology.hh"
+
+#include <algorithm>
+
+#include "ros/ros.hh"
+
+namespace av::ros {
+
+TopologySnapshot
+topologySnapshot(const RosGraph &graph)
+{
+    TopologySnapshot snap;
+    for (const Node *node : graph.nodes())
+        snap.nodes.push_back(node->name());
+    std::sort(snap.nodes.begin(), snap.nodes.end());
+
+    for (const TopicBase *topic : graph.topics()) {
+        TopologyTopic t;
+        t.name = topic->name();
+        t.advertisers = topic->advertisers();
+        std::sort(t.advertisers.begin(), t.advertisers.end());
+        snap.topics.push_back(std::move(t));
+        for (const SubscriptionBase *sub : topic->subscribers())
+            snap.edges.push_back(TopologyEdge{topic->name(),
+                                              sub->node()->name(),
+                                              sub->queueDepth()});
+    }
+    std::sort(snap.topics.begin(), snap.topics.end(),
+              [](const TopologyTopic &a, const TopologyTopic &b) {
+                  return a.name < b.name;
+              });
+    std::sort(snap.edges.begin(), snap.edges.end(),
+              [](const TopologyEdge &a, const TopologyEdge &b) {
+                  if (a.topic != b.topic)
+                      return a.topic < b.topic;
+                  return a.subscriber < b.subscriber;
+              });
+    return snap;
+}
+
+} // namespace av::ros

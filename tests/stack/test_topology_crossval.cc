@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Static/runtime topology cross-validation: the pub/sub graph that
+ * avgraph extracts from source text must equal the topology the
+ * middleware actually registers on a live drive — same nodes, same
+ * topics with the same advertisers, same subscription edges with the
+ * same queue depths. A divergence means either the extractor lost
+ * track of a call site or the stack wires something the static
+ * contract does not know about; both are bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "avgraph.hh"
+#include "core/characterization.hh"
+#include "ros/topology.hh"
+
+namespace {
+
+using namespace av;
+
+/** Project the static graph onto the runtime snapshot shape.
+ *  External (bag) channels publish without a node, so their topics
+ *  carry no advertisers — exactly how anonymous runtime publishers
+ *  appear. */
+ros::TopologySnapshot
+expectedFromStatic(const graph::StaticGraph &g)
+{
+    ros::TopologySnapshot snap;
+    snap.nodes = g.nodes; // already sorted
+    for (const auto &[name, entry] : g.topics) {
+        ros::TopologyTopic topic;
+        topic.name = name;
+        std::set<std::string> advertisers;
+        for (const graph::PubSite &p : entry.pubs)
+            advertisers.insert(p.node);
+        topic.advertisers.assign(advertisers.begin(),
+                                 advertisers.end());
+        snap.topics.push_back(std::move(topic));
+        for (const graph::SubSite &s : entry.subs)
+            snap.edges.push_back(
+                ros::TopologyEdge{name, s.node, s.depth});
+    }
+    std::sort(snap.edges.begin(), snap.edges.end(),
+              [](const ros::TopologyEdge &a,
+                 const ros::TopologyEdge &b) {
+                  if (a.topic != b.topic)
+                      return a.topic < b.topic;
+                  return a.subscriber < b.subscriber;
+              });
+    return snap;
+}
+
+/** Render a snapshot for comparison — string diffs read well in
+ *  gtest failure output. */
+std::string
+format(const ros::TopologySnapshot &snap)
+{
+    std::ostringstream os;
+    for (const std::string &node : snap.nodes)
+        os << "node " << node << "\n";
+    for (const ros::TopologyTopic &topic : snap.topics) {
+        os << "topic " << topic.name << " <-";
+        for (const std::string &adv : topic.advertisers)
+            os << " " << adv;
+        os << "\n";
+    }
+    for (const ros::TopologyEdge &edge : snap.edges)
+        os << "edge " << edge.topic << " -> " << edge.subscriber
+           << " q=" << edge.queueDepth << "\n";
+    return os.str();
+}
+
+TEST(TopologyCrossval, StaticGraphMatchesLiveMiddleware)
+{
+    graph::StaticGraph g = graph::extractTree(AVSCOPE_SOURCE_DIR);
+    ASSERT_FALSE(g.topics.empty());
+
+    world::ScenarioConfig scenario;
+    scenario.seed = 7;
+    const auto drive = prof::makeDrive(scenario, 2 * sim::oneSec);
+    prof::CharacterizationRun run(drive, prof::RunConfig{});
+    run.execute();
+
+    const ros::TopologySnapshot actual =
+        ros::topologySnapshot(run.graph());
+    const ros::TopologySnapshot expected = expectedFromStatic(g);
+    EXPECT_EQ(format(actual), format(expected));
+    EXPECT_TRUE(actual == expected);
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+// Flow-sensitive reads after publish(std::move(...)): every read
+// between the move and a re-seating assignment fires; a nested
+// reassignment cleans only its block.
+#include <cstddef>
+#include <utility>
+
+namespace av::fixture {
+
+struct Msg
+{
+    std::size_t byteSize() const;
+};
+
+struct Pub
+{
+    void publish(int header, Msg data, std::size_t bytes);
+};
+
+void
+everyReadFires(Pub &pub, Msg msg)
+{
+    pub.publish(0, std::move(msg), 64);
+    (void)msg.byteSize(); // line 23: mutable-loan
+    (void)msg.byteSize(); // line 24: mutable-loan
+}
+
+void
+nestedReassignCleansOnlyItsBlock(Pub &pub, Msg msg, bool retry)
+{
+    pub.publish(0, std::move(msg), 64);
+    if (retry) {
+        msg = Msg{};          // legal: re-seats inside the block
+        (void)msg.byteSize(); // legal: reads the fresh message
+    }
+    (void)msg.byteSize(); // line 35: moved-from again
+}
+
+void
+baseReassignEndsTracking(Pub &pub, Msg msg, bool retry)
+{
+    pub.publish(0, std::move(msg), 64);
+    msg = Msg{}; // legal: re-seats for the rest of the scope
+    if (retry)
+        (void)msg.byteSize(); // legal
+    (void)msg.byteSize();     // legal
+}
+
+void
+readInBranchFires(Pub &pub, Msg msg, bool retry)
+{
+    pub.publish(0, std::move(msg), 64);
+    if (retry)
+        (void)msg.byteSize(); // line 53: mutable-loan
+}
+
+} // namespace av::fixture

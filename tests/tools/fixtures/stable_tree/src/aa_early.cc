@@ -1,0 +1,7 @@
+// Stability fixture: two rules on one line, another further down.
+void
+f()
+{
+    printf("hi"); rand();
+    rand();
+}

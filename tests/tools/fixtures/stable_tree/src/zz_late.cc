@@ -1,0 +1,6 @@
+// Stability fixture: one finding in a file that sorts last in src/.
+void
+g()
+{
+    rand();
+}

@@ -1,0 +1,6 @@
+// Stability fixture: findings outside src/ sort after src/ files.
+void
+h()
+{
+    rand();
+}

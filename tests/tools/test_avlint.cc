@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -171,6 +172,72 @@ TEST(Avlint, MutableLoanFlagsReadsAfterPublishMove)
     const auto in_bench = lintFile(fixture("mutable_loan.cc"),
                                    "bench/mutable_loan.cc");
     EXPECT_EQ(ruleLines(in_bench), ruleLines(in_src));
+}
+
+TEST(Avlint, MutableLoanIsFlowSensitive)
+{
+    // Every read between the move and a re-seat fires; a nested
+    // reassignment shields only its own block, a base-depth one
+    // ends tracking for the rest of the scope.
+    const auto diags = lintFile(fixture("mutable_loan_flow.cc"),
+                                "src/fixture/mutable_loan_flow.cc");
+    EXPECT_EQ(ruleLines(diags), (Pairs{{"mutable-loan", 23},
+                                       {"mutable-loan", 24},
+                                       {"mutable-loan", 35},
+                                       {"mutable-loan", 53}}));
+}
+
+TEST(Avlint, SortDiagnosticsOrdersByFileLineRule)
+{
+    std::vector<Diagnostic> diags = {
+        {"src/b.cc", 9, "wall-clock", "m"},
+        {"src/a.cc", 9, "wall-clock", "m"},
+        {"src/a.cc", 2, "wall-clock", "m"},
+        {"src/a.cc", 2, "print-in-library", "m"},
+    };
+    av::lint::sortDiagnostics(diags);
+    std::vector<std::tuple<std::string, int, std::string>> got;
+    for (const Diagnostic &d : diags)
+        got.emplace_back(d.file, d.line, d.rule);
+    const std::vector<std::tuple<std::string, int, std::string>>
+        want = {
+            {"src/a.cc", 2, "print-in-library"},
+            {"src/a.cc", 2, "wall-clock"},
+            {"src/a.cc", 9, "wall-clock"},
+            {"src/b.cc", 9, "wall-clock"},
+        };
+    EXPECT_EQ(got, want);
+}
+
+TEST(Avlint, TreeDiagnosticsAreByteStable)
+{
+    // lintTree over a fixture tree: output is sorted by
+    // (file, line, rule) — not traversal order — and identical
+    // across runs.
+    const std::string root = fixture("stable_tree");
+    const auto first = av::lint::lintTree(root);
+    const auto second = av::lint::lintTree(root);
+
+    std::vector<std::tuple<std::string, int, std::string>> got;
+    for (const Diagnostic &d : first)
+        got.emplace_back(d.file, d.line, d.rule);
+    const std::vector<std::tuple<std::string, int, std::string>>
+        want = {
+            {"src/aa_early.cc", 5, "print-in-library"},
+            {"src/aa_early.cc", 5, "wall-clock"},
+            {"src/aa_early.cc", 6, "wall-clock"},
+            {"src/zz_late.cc", 5, "wall-clock"},
+            {"tools/mid.cc", 5, "wall-clock"},
+        };
+    EXPECT_EQ(got, want);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].file, second[i].file);
+        EXPECT_EQ(first[i].line, second[i].line);
+        EXPECT_EQ(first[i].rule, second[i].rule);
+        EXPECT_EQ(first[i].message, second[i].message);
+    }
 }
 
 TEST(Avlint, SuppressionCommentSilencesSameAndNextLine)

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Graph-contract rules and rate inference over the extracted graph.
+ * See avgraph.hh for the catalog and the rationale per rule.
+ */
+
+#include "avgraph.hh"
+
+#include <cmath>
+#include <set>
+
+namespace av::graph {
+
+namespace {
+
+using Diags = std::vector<lint::Diagnostic>;
+
+/** Type spelling varies with the namespace a site sits in
+ *  (`world::CameraFrame` vs `CameraFrame`); compare the last
+ *  component. */
+std::string
+lastComponent(const std::string &type)
+{
+    const std::size_t colon = type.rfind(':');
+    return colon == std::string::npos ? type
+                                      : type.substr(colon + 1);
+}
+
+void
+emit(Diags &out, const Site &site, const std::string &rule,
+     const std::string &message)
+{
+    out.push_back(
+        lint::Diagnostic{site.file, site.line, rule, message});
+}
+
+/** Representative site for topic-level diagnostics: first pub,
+ *  else first external, else first sub (site order is file-sorted,
+ *  so this is deterministic). */
+const Site &
+topicSite(const TopicEntry &entry)
+{
+    if (!entry.pubs.empty())
+        return entry.pubs.front().site;
+    if (!entry.externals.empty())
+        return entry.externals.front().site;
+    return entry.subs.front().site;
+}
+
+std::string
+joinSorted(const std::set<std::string> &items,
+           const std::string &sep)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += sep;
+        out += item;
+    }
+    return out;
+}
+
+/** Tarjan strongly-connected components over the node digraph. */
+class SccFinder
+{
+  public:
+    explicit SccFinder(
+        const std::map<std::string, std::set<std::string>> &adj)
+        : adj_(adj)
+    {
+        for (const auto &[node, _] : adj_)
+            if (!index_.count(node))
+                strongconnect(node);
+    }
+
+    const std::vector<std::vector<std::string>> &sccs() const
+    {
+        return sccs_;
+    }
+
+  private:
+    void
+    strongconnect(const std::string &v)
+    {
+        index_[v] = lowlink_[v] = next_++;
+        stack_.push_back(v);
+        onStack_.insert(v);
+        const auto it = adj_.find(v);
+        if (it != adj_.end())
+            for (const std::string &w : it->second) {
+                if (!index_.count(w)) {
+                    strongconnect(w);
+                    lowlink_[v] =
+                        std::min(lowlink_[v], lowlink_[w]);
+                } else if (onStack_.count(w)) {
+                    lowlink_[v] = std::min(lowlink_[v], index_[w]);
+                }
+            }
+        if (lowlink_[v] == index_[v]) {
+            std::vector<std::string> scc;
+            while (true) {
+                const std::string w = stack_.back();
+                stack_.pop_back();
+                onStack_.erase(w);
+                scc.push_back(w);
+                if (w == v)
+                    break;
+            }
+            sccs_.push_back(std::move(scc));
+        }
+    }
+
+    const std::map<std::string, std::set<std::string>> &adj_;
+    std::map<std::string, int> index_;
+    std::map<std::string, int> lowlink_;
+    std::vector<std::string> stack_;
+    std::set<std::string> onStack_;
+    int next_ = 0;
+    std::vector<std::vector<std::string>> sccs_;
+};
+
+} // namespace
+
+PathSpec
+tableIvSpec()
+{
+    PathSpec spec;
+    const std::string trackingTail[] = {
+        "/detection/fusion_tools/objects",
+        "imm_ukf_pda_tracker",
+        "/detection/object_tracker/objects",
+        "ukf_track_relay",
+        "/detection/objects",
+        "naive_motion_prediction",
+        "/prediction/motion_predictor/objects",
+        "costmap_generator",
+        "/semantics/costmap",
+    };
+
+    PathSpec::Path localization;
+    localization.name = "localization";
+    localization.elements = {
+        "/points_raw",      "voxel_grid_filter",
+        "/filtered_points", "ndt_matching",
+        "/ndt_pose",
+    };
+
+    PathSpec::Path costmapPoints;
+    costmapPoints.name = "costmap_points";
+    costmapPoints.elements = {
+        "/points_raw",       "ray_ground_filter",
+        "/points_no_ground", "costmap_generator",
+        "/semantics/costmap",
+    };
+
+    PathSpec::Path costmapCluster;
+    costmapCluster.name = "costmap_cluster_obj";
+    costmapCluster.elements = {
+        "/points_raw",
+        "ray_ground_filter",
+        "/points_no_ground",
+        "euclidean_cluster",
+        "/detection/lidar_detector/objects",
+        "range_vision_fusion",
+    };
+    costmapCluster.elements.insert(costmapCluster.elements.end(),
+                                   std::begin(trackingTail),
+                                   std::end(trackingTail));
+
+    PathSpec::Path costmapVision;
+    costmapVision.name = "costmap_vision_obj";
+    costmapVision.elements = {
+        "/image_raw",
+        "vision_detection",
+        "/detection/image_detector/objects",
+        "range_vision_fusion",
+    };
+    costmapVision.elements.insert(costmapVision.elements.end(),
+                                  std::begin(trackingTail),
+                                  std::end(trackingTail));
+
+    spec.paths = {localization, costmapPoints, costmapCluster,
+                  costmapVision};
+    // Legal off-path topics: the ground-plane debug output and the
+    // localization side inputs (cached, never triggering).
+    spec.auxTopics = {"/points_ground", "/gnss_pose", "/imu_raw"};
+    spec.sensorPeriods = {
+        {"/points_raw", "lidarPeriod"},
+        {"/image_raw", "cameraPeriod"},
+        {"/gnss_pose", "gnssPeriod"},
+        {"/imu_raw", "imuPeriod"},
+    };
+    return spec;
+}
+
+void
+inferRates(StaticGraph &graph, const PathSpec &spec)
+{
+    std::map<std::string, double> topicRate;
+    for (const auto &[topic, field] : spec.sensorPeriods) {
+        const auto it = graph.periodSeconds.find(field);
+        if (it != graph.periodSeconds.end() && it->second > 0.0)
+            topicRate[topic] = 1.0 / it->second;
+    }
+
+    // Fixpoint along the declared paths. A node fires when its
+    // path-predecessor topic delivers, so its service rate is the
+    // *slowest* predecessor across all paths it sits on (the other
+    // inputs are cached and merged into that cycle); its output
+    // topics inherit the node's rate.
+    std::map<std::string, double> nodeRate;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const PathSpec::Path &path : spec.paths) {
+            for (std::size_t i = 1; i + 1 < path.elements.size();
+                 i += 2) {
+                const std::string &pred = path.elements[i - 1];
+                const std::string &node = path.elements[i];
+                const std::string &succ = path.elements[i + 1];
+                const auto predIt = topicRate.find(pred);
+                if (predIt != topicRate.end()) {
+                    const auto nodeIt = nodeRate.find(node);
+                    if (nodeIt == nodeRate.end() ||
+                        predIt->second < nodeIt->second) {
+                        nodeRate[node] = predIt->second;
+                        changed = true;
+                    }
+                }
+                const auto nodeIt = nodeRate.find(node);
+                if (nodeIt != nodeRate.end()) {
+                    const auto succIt = topicRate.find(succ);
+                    if (succIt == topicRate.end() ||
+                        nodeIt->second < succIt->second) {
+                        topicRate[succ] = nodeIt->second;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    graph.nodeRates = std::move(nodeRate);
+    for (auto &[name, entry] : graph.topics) {
+        const auto it = topicRate.find(name);
+        if (it != topicRate.end())
+            entry.rateHz = it->second;
+    }
+}
+
+std::vector<lint::Diagnostic>
+checkGraph(const StaticGraph &graph, const PathSpec &spec)
+{
+    Diags out;
+    const std::set<std::string> aux(spec.auxTopics.begin(),
+                                    spec.auxTopics.end());
+    std::set<std::string> onPath, terminals;
+    for (const PathSpec::Path &path : spec.paths) {
+        for (std::size_t i = 0; i < path.elements.size(); i += 2)
+            onPath.insert(path.elements[i]);
+        if (!path.elements.empty())
+            terminals.insert(path.elements.back());
+    }
+
+    for (const auto &[name, entry] : graph.topics) {
+        const bool published =
+            !entry.pubs.empty() || !entry.externals.empty();
+
+        // type-mismatch -----------------------------------------
+        std::set<std::string> types;
+        for (const PubSite &p : entry.pubs)
+            types.insert(lastComponent(p.type));
+        for (const SubSite &s : entry.subs)
+            types.insert(lastComponent(s.type));
+        for (const ExternalSite &e : entry.externals)
+            types.insert(lastComponent(e.type));
+        if (types.size() > 1)
+            emit(out, topicSite(entry), "type-mismatch",
+                 "topic '" + name +
+                     "' is used with conflicting message types: " +
+                     joinSorted(types, " vs "));
+
+        // duplicate-publisher -----------------------------------
+        std::set<std::string> publishers;
+        for (const PubSite &p : entry.pubs)
+            publishers.insert(p.node);
+        for (const ExternalSite &e : entry.externals)
+            publishers.insert(e.source);
+        if (publishers.size() > 1)
+            emit(out, topicSite(entry), "duplicate-publisher",
+                 "topic '" + name + "' has " +
+                     std::to_string(publishers.size()) +
+                     " publishers (" + joinSorted(publishers, ", ") +
+                     "); one topic, one publisher");
+
+        // orphans -----------------------------------------------
+        if (published && entry.subs.empty() && !aux.count(name) &&
+            !terminals.count(name))
+            emit(out, topicSite(entry), "orphan-published",
+                 "topic '" + name +
+                     "' is published but never subscribed —"
+                     " dead output or missing consumer");
+        if (!published && !entry.subs.empty())
+            emit(out, entry.subs.front().site, "orphan-subscribed",
+                 "topic '" + name +
+                     "' is subscribed but nothing publishes it —"
+                     " the subscriber can never fire");
+
+        // queue-depth -------------------------------------------
+        for (const SubSite &s : entry.subs) {
+            const auto rateIt = graph.nodeRates.find(s.node);
+            if (entry.rateHz <= 0.0 ||
+                rateIt == graph.nodeRates.end() ||
+                rateIt->second <= 0.0 || s.depth == 0)
+                continue;
+            const double need_raw =
+                std::ceil(entry.rateHz / rateIt->second - 1e-9);
+            const std::size_t need = need_raw < 1.0
+                ? std::size_t{1}
+                : static_cast<std::size_t>(need_raw);
+            if (s.depth < need)
+                emit(out, s.site, "queue-depth",
+                     "queue depth " + std::to_string(s.depth) +
+                         " on '" + name + "' at node '" + s.node +
+                         "' cannot absorb the producer/consumer"
+                         " rate ratio; need >= " +
+                         std::to_string(need));
+        }
+
+        // path coverage (topic side) ----------------------------
+        if (!spec.paths.empty() && !onPath.count(name) &&
+            !aux.count(name))
+            emit(out, topicSite(entry), "path-coverage",
+                 "topic '" + name +
+                     "' is missing from every declared computation"
+                     " path (and is not an aux topic)");
+    }
+
+    // path coverage (edge side): every declared hop must exist.
+    for (const PathSpec::Path &path : spec.paths) {
+        for (std::size_t i = 1; i + 1 < path.elements.size();
+             i += 2) {
+            const std::string &pred = path.elements[i - 1];
+            const std::string &node = path.elements[i];
+            const std::string &succ = path.elements[i + 1];
+            bool subscribes = false, publishes = false;
+            const auto predIt = graph.topics.find(pred);
+            if (predIt != graph.topics.end())
+                for (const SubSite &s : predIt->second.subs)
+                    subscribes = subscribes || s.node == node;
+            const auto succIt = graph.topics.find(succ);
+            if (succIt != graph.topics.end())
+                for (const PubSite &p : succIt->second.pubs)
+                    publishes = publishes || p.node == node;
+            if (!subscribes)
+                emit(out, Site{"<paths>", 0}, "path-coverage",
+                     "path '" + path.name + "': node '" + node +
+                         "' does not subscribe to '" + pred + "'");
+            if (!publishes)
+                emit(out, Site{"<paths>", 0}, "path-coverage",
+                     "path '" + path.name + "': node '" + node +
+                         "' does not publish '" + succ + "'");
+        }
+    }
+
+    // graph-cycle -----------------------------------------------
+    std::map<std::string, std::set<std::string>> adj;
+    for (const std::string &node : graph.nodes)
+        adj[node]; // every node participates, even without edges
+    for (const auto &[name, entry] : graph.topics)
+        for (const PubSite &p : entry.pubs)
+            for (const SubSite &s : entry.subs)
+                adj[p.node].insert(s.node);
+    const SccFinder finder(adj);
+    for (const std::vector<std::string> &scc : finder.sccs()) {
+        const bool selfLoop =
+            scc.size() == 1 && adj[scc.front()].count(scc.front());
+        if (scc.size() < 2 && !selfLoop)
+            continue;
+        const std::set<std::string> members(scc.begin(), scc.end());
+        // Anchor the diagnostic at the first pub site of the
+        // lexicographically first member.
+        Site site{"<graph>", 0};
+        const std::string &anchor = *members.begin();
+        bool found = false;
+        for (const auto &[name, entry] : graph.topics) {
+            for (const PubSite &p : entry.pubs)
+                if (!found && p.node == anchor) {
+                    site = p.site;
+                    found = true;
+                }
+        }
+        emit(out, site, "graph-cycle",
+             "pub/sub cycle between nodes: " +
+                 joinSorted(members, " -> ") + " -> " +
+                 *members.begin());
+    }
+
+    lint::sortDiagnostics(out);
+    return out;
+}
+
+} // namespace av::graph

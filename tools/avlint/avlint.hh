@@ -35,7 +35,13 @@
  *                     publish(std::move(...)) — the v2 transport
  *                     owns the payload from that point (DESIGN.md
  *                     §12), and sibling arguments in the same call
- *                     race the move; hoist reads before publishing
+ *                     race the move. The check is flow-sensitive
+ *                     within the function body: every read between
+ *                     the move and a re-seating assignment is
+ *                     flagged, a reassignment inside a nested block
+ *                     cleans only that block (the name is moved-from
+ *                     again once the block closes), and tracking
+ *                     ends when the scope containing the move ends
  *
  * A diagnostic on line N is silenced by `// avlint: allow(<rule>)` on
  * the same line, or on a comment-only line directly above. A
@@ -65,6 +71,11 @@ enum class TokenKind {
     Identifier,
     Number,
     Punct,
+    /** A string literal. For lint rules the content is blanked (so
+     *  banned identifiers may appear in messages); avgraph's
+     *  literal-preserving mode keeps the characters — topic names
+     *  live in string literals. */
+    String,
 };
 
 /** One token of the scrubbed source. */
@@ -87,8 +98,13 @@ class SourceFile
      * Build from in-memory content.
      * @param rel_path repo-relative path; drives per-path rule
      *        exemptions and the expected include-guard name
+     * @param keep_strings keep string-literal characters in the
+     *        String tokens (avgraph needs topic names); lint rules
+     *        use the default blanked form so banned identifiers may
+     *        appear inside messages without firing
      */
-    SourceFile(std::string rel_path, const std::string &content);
+    SourceFile(std::string rel_path, const std::string &content,
+               bool keep_strings = false);
 
     const std::string &relPath() const { return relPath_; }
     const std::vector<std::string> &rawLines() const { return raw_; }
@@ -139,10 +155,17 @@ std::vector<Diagnostic> lintFile(const std::string &fs_path,
 
 /**
  * Lint the whole repo rooted at @p root: src/, bench/, examples/ and
- * tools/ (tests/ hosts intentionally-violating fixtures). Results are
- * sorted by path and line so output is deterministic.
+ * tools/ (tests/ hosts intentionally-violating fixtures). Results
+ * are sorted by (file, line, rule) — never filesystem traversal
+ * order — so output is byte-stable across platforms and runs.
  */
 std::vector<Diagnostic> lintTree(const std::string &root);
+
+/**
+ * Sort @p diags by (file, line, rule, message) in place — the one
+ * reporting order every avlint/avgraph emitter uses.
+ */
+void sortDiagnostics(std::vector<Diagnostic> &diags);
 
 } // namespace av::lint
 

@@ -100,6 +100,9 @@ lintTree(const std::string &root)
                    std::make_move_iterator(diags.begin()),
                    std::make_move_iterator(diags.end()));
     }
+    // Re-sort globally: per-file order is already (line, rule), but
+    // the concatenation must not depend on traversal order either.
+    sortDiagnostics(out);
     return out;
 }
 

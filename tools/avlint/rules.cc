@@ -615,8 +615,13 @@ ruleUnseededRandom(const SourceFile &f, Diags &out)
 // §12) publish takes ownership of the payload, so the moved-from
 // object is hollow — and a sibling argument such as
 // `out->byteSize()` evaluated in the same call races the move
-// (argument evaluation order is unspecified). Reads must be hoisted
-// before the publish; reassigning the name ends tracking.
+// (argument evaluation order is unspecified). The check is
+// flow-sensitive within the function body: every read between the
+// move and a re-seating assignment is flagged; a reassignment at
+// the move's own depth ends tracking, one inside a nested block
+// cleans only that block (the moved-from object is visible again
+// once the block closes), and tracking stops when the scope
+// containing the move ends.
 // ---------------------------------------------------------------
 
 void
@@ -655,32 +660,42 @@ ruleMutableLoan(const SourceFile &f, Diags &out)
         if (name.empty())
             continue;
 
-        // Track the loaned name until its scope closes or it is
-        // reassigned; any read in between (including later arguments
-        // of the publish call itself) uses the moved-from message.
+        // Flow-sensitive walk from the move: depth is relative to
+        // the move site; clean_depth, when >= 0, is the nested block
+        // depth whose reassignment currently shields reads.
         int depth = 0;
+        int clean_depth = -1;
         for (std::size_t j = moveEnd; j < toks.size(); ++j) {
             const std::string &w = toks[j].text;
             if (w == "{") {
                 ++depth;
             } else if (w == "}") {
-                if (--depth < 0)
-                    break;
+                --depth;
+                if (depth < 0)
+                    break; // the move's own scope ended
+                if (clean_depth >= 0 && depth < clean_depth)
+                    clean_depth = -1; // nested re-seat went away
             } else if (toks[j].kind == TokenKind::Identifier &&
                        w == name) {
+                if (clean_depth >= 0)
+                    continue; // reads the re-seated value
                 // `name = ...` re-seats the handle and is legal.
                 const bool reassign =
                     j + 1 < toks.size() &&
                     toks[j + 1].text == "=" &&
                     (j + 2 >= toks.size() ||
                      toks[j + 2].text != "=");
-                if (!reassign)
+                if (reassign) {
+                    if (depth == 0)
+                        break; // clean for the rest of the scope
+                    clean_depth = depth;
+                } else {
                     emit(out, f, toks[j].line, "mutable-loan",
                          "'" + name + "' read after being loaned to"
                          " publish(std::move(...)); the transport"
                          " owns the payload now — hoist the read"
                          " (e.g. byteSize()) above the publish");
-                break;
+                }
             }
         }
     }
@@ -719,13 +734,23 @@ lintSource(const SourceFile &file, const SourceFile *companion)
     for (Diagnostic &d : all)
         if (!file.suppressed(d.rule, d.line))
             kept.push_back(std::move(d));
-    std::sort(kept.begin(), kept.end(),
+    sortDiagnostics(kept);
+    return kept;
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diags)
+{
+    std::sort(diags.begin(), diags.end(),
               [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
                   if (a.line != b.line)
                       return a.line < b.line;
-                  return a.rule < b.rule;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
               });
-    return kept;
 }
 
 } // namespace av::lint

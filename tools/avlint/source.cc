@@ -28,9 +28,14 @@ isIdentChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** Blank comments and literals; keep newlines and everything else. */
+/**
+ * Blank comments and literals; keep newlines and everything else.
+ * With @p keep_strings, double-quoted literal characters survive
+ * (escapes included, verbatim) so the tokenizer can carry topic
+ * names; char literals and comments are always blanked.
+ */
 std::string
-scrub(const std::string &in)
+scrub(const std::string &in, bool keep_strings)
 {
     std::string out;
     out.reserve(in.size());
@@ -52,13 +57,19 @@ scrub(const std::string &in)
             i = i + 2 <= n ? i + 2 : n;
         } else if (c == '"' || c == '\'') {
             const char quote = c;
+            const bool keep = keep_strings && quote == '"';
             out.push_back(quote);
             ++i;
             while (i < n && in[i] != quote) {
-                if (in[i] == '\\' && i + 1 < n)
+                if (in[i] == '\\' && i + 1 < n) {
+                    if (keep)
+                        out.push_back(in[i]);
                     ++i;
+                }
                 if (in[i] == '\n')
                     out.push_back('\n');
+                else if (keep)
+                    out.push_back(in[i]);
                 ++i;
             }
             if (i < n) {
@@ -96,7 +107,7 @@ splitRules(const std::string &list)
 } // namespace
 
 SourceFile::SourceFile(std::string rel_path,
-                       const std::string &content)
+                       const std::string &content, bool keep_strings)
     : relPath_(std::move(rel_path))
 {
     std::string line;
@@ -112,7 +123,7 @@ SourceFile::SourceFile(std::string rel_path,
         raw_.push_back(line);
 
     parseSuppressions();
-    tokenize(scrub(content));
+    tokenize(scrub(content, keep_strings));
 }
 
 bool
@@ -201,6 +212,27 @@ SourceFile::tokenize(const std::string &scrubbed)
             ++i;
         } else if (std::isspace(static_cast<unsigned char>(c))) {
             ++i;
+        } else if (c == '"') {
+            // String literal (content blanked unless the file was
+            // built with keep_strings). One token, quotes stripped;
+            // escape pairs pass through verbatim.
+            const int start_line = line;
+            std::string text;
+            ++i;
+            while (i < n && scrubbed[i] != '"') {
+                if (scrubbed[i] == '\\' && i + 1 < n) {
+                    text.push_back(scrubbed[i]);
+                    ++i;
+                }
+                if (scrubbed[i] == '\n')
+                    ++line;
+                text.push_back(scrubbed[i]);
+                ++i;
+            }
+            if (i < n)
+                ++i; // closing quote
+            tokens_.push_back(
+                Token{std::move(text), start_line, TokenKind::String});
         } else if (isIdentStart(c)) {
             std::size_t start = i;
             while (i < n && isIdentChar(scrubbed[i]))
