@@ -1,6 +1,9 @@
 #include "common.hh"
 
+#include <cstdlib>
 #include <iostream>
+#include <stdexcept>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -8,15 +11,28 @@ namespace av::bench {
 
 namespace {
 
-const std::vector<std::string> kCommonFlags = {
-    "duration",  "seed",     "csv",       "jobs",
-    "cache-dir", "no-cache", "transport",
-};
+/**
+ * Parse argv, turning a diagnostic into exit(2). BenchOptions
+ * throws so the message is unit-testable; a bench binary just wants
+ * the text on stderr and a conventional usage-error status.
+ */
+BenchOptions
+parsed(BenchOptions options, int argc, char **argv)
+{
+    try {
+        options.parse(argc, argv);
+    } catch (const std::invalid_argument &error) {
+        std::cerr << (argc > 0 ? argv[0] : "bench") << ": "
+                  << error.what() << "\n";
+        std::exit(2);
+    }
+    return options;
+}
 
 std::vector<ros::TransportMode>
-parseTransportModes(const util::Flags &flags)
+parseTransportModes(const BenchOptions &options)
 {
-    const std::string name = flags.getString("transport", "loan");
+    const std::string &name = options.text("transport");
     if (name == "both")
         return {ros::TransportMode::Copy, ros::TransportMode::Loan};
     ros::TransportMode mode;
@@ -28,41 +44,28 @@ parseTransportModes(const util::Flags &flags)
 } // namespace
 
 exp::RunnerConfig
-BenchEnv::runnerConfig(const util::Flags &flags)
+BenchEnv::runnerConfig(const BenchOptions &options)
 {
     exp::RunnerConfig cfg;
-    const long jobs = flags.getInt("jobs", 0);
+    const long jobs = options.integer("jobs");
     AV_ASSERT(jobs >= 0, "--jobs must be non-negative");
     cfg.jobs = static_cast<unsigned>(jobs);
-    if (!flags.getBool("no-cache"))
-        cfg.cacheDir =
-            flags.getString("cache-dir", exp::defaultCacheDir());
+    if (!options.flag("no-cache"))
+        cfg.cacheDir = options.text("cache-dir");
     return cfg;
 }
 
-namespace {
-
-std::vector<std::string>
-knownFlags(const std::vector<std::string> &extra)
+BenchEnv::BenchEnv(int argc, char **argv, BenchOptions options)
+    : options_(parsed(std::move(options), argc, argv)),
+      runner_(runnerConfig(options_))
 {
-    std::vector<std::string> known = kCommonFlags;
-    known.insert(known.end(), extra.begin(), extra.end());
-    return known;
-}
-
-} // namespace
-
-BenchEnv::BenchEnv(int argc, char **argv,
-                   const std::vector<std::string> &extra)
-    : flags_(argc, argv, knownFlags(extra)),
-      runner_(runnerConfig(flags_))
-{
-    csv_ = flags_.getBool("csv");
-    const long seconds = flags_.getInt("duration", 60);
+    csv_ = options_.flag("csv");
+    trace_ = options_.flag("trace");
+    const long seconds = options_.integer("duration");
     AV_ASSERT(seconds > 0, "duration must be positive");
     duration_ = static_cast<sim::Tick>(seconds) * sim::oneSec;
-    seed_ = static_cast<std::uint64_t>(flags_.getInt("seed", 2020));
-    transportModes_ = parseTransportModes(flags_);
+    seed_ = static_cast<std::uint64_t>(options_.integer("seed"));
+    transportModes_ = parseTransportModes(options_);
 }
 
 exp::ExperimentSpec
@@ -73,7 +76,8 @@ BenchEnv::spec() const
     return exp::spec()
         .duration(duration_)
         .seed(seed_)
-        .transportMode(transportModes_.back());
+        .transportMode(transportModes_.back())
+        .traced(trace_);
 }
 
 exp::ExperimentSpec

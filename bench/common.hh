@@ -3,7 +3,7 @@
  * Shared scaffolding for the table/figure benches: common flags and
  * the experiment Runner every bench submits its specs to.
  *
- * Every bench accepts:
+ * Every bench accepts the commonOptions() flag set:
  *   --duration <s>   drive length (default 60; the paper used 480)
  *   --seed <n>       scenario seed
  *   --csv            machine-readable output
@@ -16,6 +16,9 @@
  *                    simulated results must match byte-for-byte;
  *                    only host-side work and the copy counters
  *                    differ)
+ *   --trace          retain the full trace event stream: every spec
+ *                    from spec() carries .traced(), so each result
+ *                    arrives with its execution DAG attached
  *
  * Benches describe runs as ExperimentSpecs and submit them to the
  * shared Runner — submitting everything up front and collecting
@@ -31,7 +34,7 @@
 #include <vector>
 
 #include "exp/runner.hh"
-#include "util/flags.hh"
+#include "options.hh"
 #include "util/table.hh"
 
 namespace av::bench {
@@ -72,14 +75,17 @@ class BenchEnv
 {
   public:
     /**
-     * Parse the common flags (plus @p extra flag names a bench
-     * accepts on top) and build the Runner.
+     * Parse argv against @p options (commonOptions() by default;
+     * benches with extra flags chain them on before passing) and
+     * build the Runner. A parse error prints the diagnostic plus
+     * usage and exits with status 2.
      */
     BenchEnv(int argc, char **argv,
-             const std::vector<std::string> &extra = {});
+             BenchOptions options = commonOptions());
 
-    const util::Flags &flags() const { return flags_; }
+    const BenchOptions &options() const { return options_; }
     bool csv() const { return csv_; }
+    bool trace() const { return trace_; }
     sim::Tick duration() const { return duration_; }
     std::uint64_t seed() const { return seed_; }
 
@@ -117,10 +123,12 @@ class BenchEnv
     void print(const util::Table &table) const;
 
   private:
-    static exp::RunnerConfig runnerConfig(const util::Flags &flags);
+    static exp::RunnerConfig
+    runnerConfig(const BenchOptions &options);
 
-    util::Flags flags_;
+    BenchOptions options_;
     bool csv_ = false;
+    bool trace_ = false;
     sim::Tick duration_ = 0;
     std::uint64_t seed_ = 2020;
     std::vector<ros::TransportMode> transportModes_;

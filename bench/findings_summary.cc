@@ -93,7 +93,11 @@ writeTransportJson(std::ostream &os,
 int
 main(int argc, char **argv)
 {
-    av::bench::BenchEnv env(argc, argv, {"json"});
+    av::bench::BenchEnv env(
+        argc, argv,
+        av::bench::commonOptions().text(
+            "json", "BENCH_transport.json",
+            "transport-findings JSON path (empty = skip)"));
 
     // Wall-clock bounds the whole summary (replay + render): the
     // honest old-vs-new number for the host-side transport work.
@@ -107,8 +111,7 @@ main(int argc, char **argv)
     const double wall =
         std::chrono::duration<double>(t1 - t0).count();
 
-    const std::string jsonPath =
-        env.flags().getString("json", "BENCH_transport.json");
+    const std::string jsonPath = env.options().text("json");
     if (!jsonPath.empty()) {
         std::ofstream os(jsonPath, std::ios::trunc);
         if (os) {

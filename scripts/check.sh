@@ -7,10 +7,13 @@
 #   3. avgraph: the static pub/sub topology contract over src/
 #      (regenerates results/topology.{json,dot}), then the ctest
 #      label 'graph'
-#   4. rebuild + ctest under AddressSanitizer + UBSan, then the
+#   4. trace stage: the ctest label 'trace' (critical-path report +
+#      guarded-optimizer accept/rollback smoke over a traced drive,
+#      DESIGN.md §14)
+#   5. rebuild + ctest under AddressSanitizer + UBSan, then the
 #      transport microbench smoke (lock-free SPSC ring + loaned
 #      messages, DESIGN.md §12) under the same build
-#   5. rebuild + ctest under ThreadSanitizer (the Runner's worker
+#   6. rebuild + ctest under ThreadSanitizer (the Runner's worker
 #      pool and result cache run real threads; TSan proves the
 #      isolation contract DESIGN.md §10 describes), then the
 #      transport microbench smoke again — TSan is what proves the
@@ -49,6 +52,9 @@ step "avgraph (static pub/sub topology contract, ctest label 'graph')"
     --dot "$ROOT/results/topology.dot"
 ctest --test-dir "$BUILD" --output-on-failure -L graph
 
+step "trace smoke (critical path + guarded optimizer, ctest label 'trace')"
+ctest --test-dir "$BUILD" --output-on-failure -L trace
+
 step "sanitizers: configure + build ($ASAN_BUILD)"
 cmake -B "$ASAN_BUILD" -S "$ROOT" \
     -DAVSCOPE_SANITIZE="address;undefined"
@@ -66,6 +72,11 @@ ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "$ASAN_BUILD/bench/micro_transport" --smoke
 
+step "critical-path smoke (ASan + UBSan)"
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "$ASAN_BUILD/bench/critical_path" --smoke --duration 6 --no-cache
+
 step "sanitizers: configure + build ($TSAN_BUILD)"
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
     -DAVSCOPE_SANITIZE="thread"
@@ -78,5 +89,9 @@ TSAN_OPTIONS="halt_on_error=1" \
 step "transport microbench smoke (TSan)"
 TSAN_OPTIONS="halt_on_error=1" \
     "$TSAN_BUILD/bench/micro_transport" --smoke
+
+step "critical-path smoke (TSan)"
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_BUILD/bench/critical_path" --smoke --duration 6 --no-cache
 
 step "all checks passed"

@@ -46,8 +46,13 @@ CharacterizationRun::CharacterizationRun(
 {
     AV_ASSERT(drive_ != nullptr, "null drive data");
     eq_ = std::make_unique<sim::EventQueue>();
+    recorder_.setEnabled(config_.trace);
     machine_ = std::make_unique<hw::Machine>(*eq_, config_.machine);
+    machine_->setTraceRecorder(&recorder_);
     graph_ = std::make_unique<ros::RosGraph>(*machine_, config_.transport);
+    graph_->setTraceRecorder(&recorder_);
+    // Overrides must be in place before the stack subscribes.
+    graph_->setQueueDepthOverrides(config_.queueDepths);
     stack_ = std::make_unique<stack::AutowareStack>(
         *graph_, drive_->map, config_.stack, config_.calibration,
         drive_->initialPose);
@@ -56,13 +61,14 @@ CharacterizationRun::CharacterizationRun(
         *eq_, *machine_, config_.samplePeriod);
     power_ = std::make_unique<PowerMonitor>(*eq_, *machine_,
                                             config_.samplePeriod);
-    staleness_ = std::make_unique<StalenessMonitor>(*graph_);
+    staleness_ = std::make_unique<StalenessMonitor>(*graph_,
+                                                    recorder_);
     if (!config_.faults.empty()) {
         // Constructor-time validation: a typo'd node name throws
         // std::invalid_argument here, before any simulation runs.
         injector_ = std::make_unique<fault::FaultInjector>(
             *graph_, config_.faults);
-        recovery_ = std::make_unique<RecoveryProbe>(*graph_,
+        recovery_ = std::make_unique<RecoveryProbe>(recorder_,
                                                     config_.faults);
     }
 }
@@ -86,6 +92,13 @@ CharacterizationRun::execute()
     staleness_->stop();
     // Drain whatever is still in flight (bounded).
     eq_->runUntil(drive_->duration + 2 * config_.drainGrace);
+}
+
+trace::Summary
+CharacterizationRun::traceSummary() const
+{
+    return recorder_.enabled() ? trace::analyze(recorder_)
+                               : trace::Summary();
 }
 
 std::vector<DropRow>

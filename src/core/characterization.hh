@@ -16,6 +16,7 @@
 #include "core/probes.hh"
 #include "fault/fault.hh"
 #include "ros/bag.hh"
+#include "trace/dag.hh"
 #include "stack/autoware_stack.hh"
 #include "world/map_builder.hh"
 #include "world/recorder.hh"
@@ -64,6 +65,23 @@ struct RunConfig
      * separately from the clean one.
      */
     fault::FaultPlan faults;
+
+    /**
+     * Retain the full trace event stream (publish/deliver hops,
+     * activation spans, CPU tasks, GPU kernels) and attach the DAG
+     * analysis to the result. The recorder's publish log is always
+     * on regardless — this switches on the per-event retention.
+     * Folds into the experiment cache key.
+     */
+    bool trace = false;
+
+    /**
+     * Runtime subscription queue-depth overrides, applied before the
+     * stack subscribes (the closed-loop optimizer's knob). Source
+     * literals — and avgraph's static extraction of them — stay
+     * intact. Folds into the experiment cache key.
+     */
+    std::vector<ros::QueueDepthOverride> queueDepths;
 };
 
 /** Per-node latency result. */
@@ -91,6 +109,19 @@ class CharacterizationRun
     const UtilizationMonitor &utilization() const { return *util_; }
     const PowerMonitor &power() const { return *power_; }
     const StalenessMonitor &staleness() const { return *staleness_; }
+
+    /**
+     * The run's single recording surface: the publish log is always
+     * on; the full event stream only when RunConfig::trace is set.
+     */
+    const trace::Recorder &recorder() const { return recorder_; }
+
+    /**
+     * DAG analysis of the traced drive (critical path, per-node
+     * slack, bottleneck classes). Summary::enabled is false when the
+     * run was untraced.
+     */
+    trace::Summary traceSummary() const;
 
     /**
      * The machine / middleware under test. The mutable overloads
@@ -145,6 +176,9 @@ class CharacterizationRun
     std::shared_ptr<const DriveData> drive_;
     RunConfig config_;
     std::unique_ptr<sim::EventQueue> eq_;
+    /** Declared before machine_/graph_: both hold raw pointers to
+     *  it, so it must be destroyed after them. */
+    trace::Recorder recorder_;
     std::unique_ptr<hw::Machine> machine_;
     std::unique_ptr<ros::RosGraph> graph_;
     std::unique_ptr<stack::AutowareStack> stack_;

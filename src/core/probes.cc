@@ -193,9 +193,10 @@ collectDrops(const ros::RosGraph &graph)
 }
 
 StalenessMonitor::StalenessMonitor(ros::RosGraph &graph,
+                                   const trace::Recorder &recorder,
                                    sim::Tick period,
                                    std::vector<std::string> topics)
-    : eq_(graph.eventQueue()), period_(period),
+    : eq_(graph.eventQueue()), recorder_(recorder), period_(period),
       task_(graph.eventQueue(), period,
             [this](std::uint64_t) { sample(); })
 {
@@ -206,15 +207,9 @@ StalenessMonitor::StalenessMonitor(ros::RosGraph &graph,
                   t::trackedObjects, t::objects, t::costmap};
     }
     for (const std::string &name : topics) {
-        ros::TopicBase *topic = graph.findTopic(name);
-        if (!topic)
-            continue;
+        if (!graph.findTopic(name))
+            continue; // absent subsystem: no row, not "stale"
         rows_.emplace_back(name);
-        StalenessRow *row = &rows_.back();
-        topic->addHeaderTap([row](const ros::Header &header) {
-            row->lastStamp = header.stamp;
-            row->seen = true;
-        });
     }
 }
 
@@ -223,14 +218,19 @@ StalenessMonitor::sample()
 {
     const sim::Tick now = eq_.now();
     for (StalenessRow &row : rows_) {
-        if (!row.seen)
+        const trace::PublishRecord *last =
+            recorder_.lastPublish(row.topic);
+        if (!last)
             continue;
+        row.lastStamp = last->stamp;
+        row.seen = true;
         row.ageMs.add(sim::ticksToMs(now - row.lastStamp));
     }
 }
 
-RecoveryProbe::RecoveryProbe(ros::RosGraph &graph,
+RecoveryProbe::RecoveryProbe(const trace::Recorder &recorder,
                              const fault::FaultPlan &plan)
+    : recorder_(recorder)
 {
     for (const fault::FaultSpec &spec : plan.faults) {
         Record rec;
@@ -239,32 +239,41 @@ RecoveryProbe::RecoveryProbe(ros::RosGraph &graph,
                              : spec.watchTopic;
         rec.onset = spec.start;
         rec.windowEnd = fault::faultWindowEnd(spec);
-        records_.push_back(std::move(rec));
-        Record *state = &records_.back();
-        ros::TopicBase *topic = graph.findTopic(state->watchTopic);
-        if (!topic)
-            continue; // watch topic absent: recoveryMs stays -1
-        topic->addHeaderTap([state](const ros::Header &header) {
-            if (header.stamp >= state->onset &&
-                header.stamp < state->windowEnd)
-                ++state->publishedDuringWindow;
-            if (header.stamp >= state->windowEnd &&
-                state->recoveryMs < 0.0)
-                state->recoveryMs = sim::ticksToMs(header.stamp -
-                                                   state->onset);
-        });
+        windows_.push_back(std::move(rec));
     }
+}
+
+std::vector<RecoveryProbe::Record>
+RecoveryProbe::records() const
+{
+    std::vector<Record> out = windows_;
+    for (Record &rec : out) {
+        const std::vector<trace::PublishRecord> *log =
+            recorder_.publishLog(rec.watchTopic);
+        if (!log)
+            continue; // never published: recoveryMs stays -1
+        for (const trace::PublishRecord &pub : *log) {
+            if (pub.stamp >= rec.onset &&
+                pub.stamp < rec.windowEnd)
+                ++rec.publishedDuringWindow;
+            if (pub.stamp >= rec.windowEnd && rec.recoveryMs < 0.0)
+                rec.recoveryMs =
+                    sim::ticksToMs(pub.stamp - rec.onset);
+        }
+    }
+    return out;
 }
 
 void
 RecoveryProbe::fill(std::vector<fault::FaultOutcome> &outcomes) const
 {
-    AV_ASSERT(outcomes.size() == records_.size(),
+    const std::vector<Record> recs = records();
+    AV_ASSERT(outcomes.size() == recs.size(),
               "recovery probe / injector plan mismatch");
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         outcomes[i].publishedDuringWindow =
-            records_[i].publishedDuringWindow;
-        outcomes[i].recoveryMs = records_[i].recoveryMs;
+            recs[i].publishedDuringWindow;
+        outcomes[i].recoveryMs = recs[i].recoveryMs;
     }
 }
 

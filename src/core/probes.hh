@@ -17,7 +17,6 @@
 #ifndef AVSCOPE_CORE_PROBES_HH
 #define AVSCOPE_CORE_PROBES_HH
 
-#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "perception/nodes.hh"
 #include "ros/ros.hh"
 #include "sim/periodic.hh"
+#include "trace/trace.hh"
 #include "util/stats.hh"
 
 namespace av::prof {
@@ -198,30 +198,37 @@ struct StalenessRow
  * fixed period — the distribution a health monitor would alarm on.
  * Topics are sampled only after their first publication, so a
  * disabled subsystem reads as absent, not stale.
+ *
+ * Reads the recorder's always-on publish log instead of installing
+ * bespoke header taps: av::trace::Recorder is the single recording
+ * path, and this probe is a pure consumer of it.
  */
 class StalenessMonitor
 {
   public:
     /**
+     * @param recorder the run's recorder (must be attached to
+     *        @p graph and outlive this probe)
      * @param topics watched topic names; empty selects the standard
      *        inter-node set (poses, detections, tracks, costmap)
      */
     StalenessMonitor(ros::RosGraph &graph,
+                     const trace::Recorder &recorder,
                      sim::Tick period = 100 * sim::oneMs,
                      std::vector<std::string> topics = {});
 
     void start() { task_.start(period_); }
     void stop() { task_.stop(); }
 
-    const std::deque<StalenessRow> &rows() const { return rows_; }
+    const std::vector<StalenessRow> &rows() const { return rows_; }
 
   private:
     void sample();
 
     sim::EventQueue &eq_;
+    const trace::Recorder &recorder_;
     sim::Tick period_;
-    /** deque: taps capture pointers into it. */
-    std::deque<StalenessRow> rows_;
+    std::vector<StalenessRow> rows_;
     sim::PeriodicTask task_;
 };
 
@@ -230,12 +237,21 @@ class StalenessMonitor
  * watch-topic publications landed inside the fault window (did the
  * degradation path keep the stack alive?) and how long after onset
  * the first post-window publication appeared (how fast did the stack
- * recover?). Construct after the stack, before execute().
+ * recover?).
+ *
+ * A pure consumer of the recorder's publish log: construction only
+ * snapshots the plan's windows, and every measurement is computed on
+ * demand from the recorded publications — no taps, no private event
+ * buffer. A watch topic that never published leaves recoveryMs -1.
  */
 class RecoveryProbe
 {
   public:
-    RecoveryProbe(ros::RosGraph &graph,
+    /**
+     * @param recorder the run's recorder (must be attached to the
+     *        graph the faults disturb, and outlive this probe)
+     */
+    RecoveryProbe(const trace::Recorder &recorder,
                   const fault::FaultPlan &plan);
 
     /** One record per plan fault, in plan order. */
@@ -248,13 +264,15 @@ class RecoveryProbe
         double recoveryMs = -1.0; ///< onset -> first post-window pub
     };
 
-    const std::deque<Record> &records() const { return records_; }
+    /** Measurements per plan fault, from the publish log. */
+    std::vector<Record> records() const;
 
     /** Fold this probe's measurements into injector outcomes. */
     void fill(std::vector<fault::FaultOutcome> &outcomes) const;
 
   private:
-    std::deque<Record> records_; ///< taps capture pointers into it
+    const trace::Recorder &recorder_;
+    std::vector<Record> windows_; ///< plan windows, counts unset
 };
 
 } // namespace av::prof

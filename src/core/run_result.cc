@@ -155,6 +155,7 @@ snapshotRun(const CharacterizationRun &run, std::string label)
     out.transportMode =
         ros::transportModeName(run.config().transport.mode);
     out.transport = run.graph().transportCounters();
+    out.trace = run.traceSummary();
     return out;
 }
 

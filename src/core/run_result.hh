@@ -86,6 +86,15 @@ struct RunResult
      */
     ros::TransportCounters transport;
 
+    /**
+     * Execution-DAG analysis of the traced drive: critical path,
+     * per-node slack, bottleneck classes, traced edges. Empty with
+     * trace.enabled == false when the run was untraced. A pure
+     * function of the deterministic event stream, so it serializes
+     * byte-identically across worker counts and transport modes.
+     */
+    trace::Summary trace;
+
     /** Resilience counter by name; 0 when unknown. */
     double resilienceOf(const std::string &name) const;
 

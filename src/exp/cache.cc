@@ -137,7 +137,7 @@ expect(std::istream &is, const char *word)
 }
 
 constexpr const char *kMagic = "avscope-result";
-constexpr int kVersion = 3;
+constexpr int kVersion = 4; // v4: trace section (DAG analysis)
 
 void
 serialize(std::ostream &os, const prof::RunResult &run)
@@ -222,6 +222,36 @@ serialize(std::ostream &os, const prof::RunResult &run)
        << run.transport.loanedDeliveries << ' '
        << run.transport.movedPublishes << ' '
        << run.transport.forcedCopies << '\n';
+
+    // Topic/node names and bottleneck labels are token-safe; the
+    // empty terminal topic serializes as "-". Doubles are bit-exact
+    // (encF), so a traced result round-trips byte-identically —
+    // which is what the cross-jobs/cross-transport determinism
+    // tests compare.
+    os << "trace " << (run.trace.enabled ? 1 : 0) << ' '
+       << run.trace.events << ' ' << encF(run.trace.criticalPathMs)
+       << ' '
+       << (run.trace.terminalTopic.empty()
+               ? "-"
+               : run.trace.terminalTopic)
+       << '\n';
+    os << "tracepath " << run.trace.criticalPath.size() << '\n';
+    for (const trace::PathStep &step : run.trace.criticalPath)
+        os << step.node << ' ' << step.topic << ' ' << step.seq
+           << ' ' << encF(step.queueWaitMs) << ' '
+           << encF(step.computeMs) << '\n';
+    os << "traceslack " << run.trace.nodes.size() << '\n';
+    for (const trace::NodeSlack &row : run.trace.nodes)
+        os << row.node << ' ' << row.activations << ' '
+           << encF(row.meanQueueWaitMs) << ' '
+           << encF(row.meanSpanMs) << ' ' << encF(row.meanCpuMs)
+           << ' ' << encF(row.meanGpuMs) << ' '
+           << encF(row.meanStallMs) << ' ' << row.bottleneck
+           << '\n';
+    os << "traceedges " << run.trace.edges.size() << '\n';
+    for (const trace::EdgeUse &edge : run.trace.edges)
+        os << edge.topic << ' ' << edge.from << ' ' << edge.to
+           << ' ' << edge.messages << '\n';
     os << "end\n";
 }
 
@@ -359,6 +389,44 @@ parse(std::istream &is, prof::RunResult &run)
           run.transport.movedPublishes >>
           run.transport.forcedCopies))
         return false;
+
+    int traced = 0;
+    if (!expect(is, "trace") || !(is >> traced >> run.trace.events))
+        return false;
+    run.trace.enabled = traced != 0;
+    if (!getF(is, run.trace.criticalPathMs) ||
+        !(is >> run.trace.terminalTopic))
+        return false;
+    if (run.trace.terminalTopic == "-")
+        run.trace.terminalTopic.clear();
+    if (!expect(is, "tracepath") || !getCount(is, count))
+        return false;
+    run.trace.criticalPath.resize(count);
+    for (trace::PathStep &step : run.trace.criticalPath) {
+        if (!(is >> step.node >> step.topic >> step.seq) ||
+            !getF(is, step.queueWaitMs) ||
+            !getF(is, step.computeMs))
+            return false;
+    }
+    if (!expect(is, "traceslack") || !getCount(is, count))
+        return false;
+    run.trace.nodes.resize(count);
+    for (trace::NodeSlack &row : run.trace.nodes) {
+        if (!(is >> row.node >> row.activations) ||
+            !getF(is, row.meanQueueWaitMs) ||
+            !getF(is, row.meanSpanMs) || !getF(is, row.meanCpuMs) ||
+            !getF(is, row.meanGpuMs) || !getF(is, row.meanStallMs) ||
+            !(is >> row.bottleneck))
+            return false;
+    }
+    if (!expect(is, "traceedges") || !getCount(is, count))
+        return false;
+    run.trace.edges.resize(count);
+    for (trace::EdgeUse &edge : run.trace.edges) {
+        if (!(is >> edge.topic >> edge.from >> edge.to >>
+              edge.messages))
+            return false;
+    }
 
     return expect(is, "end");
 }

@@ -222,8 +222,9 @@ cacheKey(const ExperimentSpec &spec)
     Hasher h;
     // Format version: bump whenever the key encoding, the RunConfig
     // field set or the result file format changes, so stale cache
-    // entries miss instead of misloading.
-    h.tag("avscope-exp-v3");
+    // entries miss instead of misloading. v4: trace flag, queue-
+    // depth overrides, trace section in the result file.
+    h.tag("avscope-exp-v4");
     foldDrive(h, spec);
     fold(h, spec.config.stack);
     fold(h, spec.config.machine);
@@ -233,6 +234,15 @@ cacheKey(const ExperimentSpec &spec)
     h.u64(spec.config.samplePeriod);
     h.u64(spec.config.drainGrace);
     fold(h, spec.config.faults);
+    h.tag("trace");
+    h.boolean(spec.config.trace);
+    h.tag("queuedepths");
+    h.u64(spec.config.queueDepths.size());
+    for (const ros::QueueDepthOverride &o : spec.config.queueDepths) {
+        h.tag(o.topic.c_str());
+        h.tag(o.node.c_str());
+        h.u64(o.depth);
+    }
     return hex16(h.value());
 }
 

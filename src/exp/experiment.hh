@@ -132,6 +132,31 @@ struct ExperimentSpec
         config.stack.degradation.enabled = true;
         return *this;
     }
+
+    /**
+     * Retain the full trace event stream and attach the execution-
+     * DAG analysis to the result (cache-key salted). Named traced()
+     * — not trace() — so reading a call site never confuses the
+     * switch with the av::trace namespace it switches on.
+     */
+    ExperimentSpec &traced(bool on = true)
+    {
+        config.trace = on;
+        return *this;
+    }
+
+    /**
+     * Override one subscription's queue depth at runtime (cache-key
+     * salted; stackable). The closed-loop optimizer's knob: source
+     * literals and the static topology stay untouched.
+     */
+    ExperimentSpec &queueDepth(std::string topic, std::string node,
+                               std::size_t depth)
+    {
+        config.queueDepths.push_back(
+            {std::move(topic), std::move(node), depth});
+        return *this;
+    }
 };
 
 /** Fresh spec with calibrated defaults. */

@@ -1,0 +1,69 @@
+#include "exp/optimizer.hh"
+
+#include <utility>
+
+namespace av::exp {
+
+GuardedOptimizer::GuardedOptimizer(Runner &runner,
+                                   ExperimentSpec incumbent,
+                                   double min_improvement_ms)
+    : runner_(runner), incumbent_(std::move(incumbent)),
+      minImprovementMs_(min_improvement_ms)
+{
+}
+
+const prof::RunResult &
+GuardedOptimizer::measure(const ExperimentSpec &spec)
+{
+    // The Runner memoizes by cacheKey, so re-measuring the incumbent
+    // after a rollback is a cache hit, not a replay.
+    return runner_.result(runner_.submit(spec));
+}
+
+const prof::RunResult &
+GuardedOptimizer::incumbentResult()
+{
+    return measure(incumbent_);
+}
+
+double
+GuardedOptimizer::incumbentMetricMs()
+{
+    return incumbentResult().worstCaseMean();
+}
+
+const OptimizerStep &
+GuardedOptimizer::propose(const std::string &name,
+                          const Mutation &mutate)
+{
+    OptimizerStep step;
+    step.name = name;
+    step.incumbentMs = incumbentMetricMs();
+
+    ExperimentSpec candidate = incumbent_;
+    mutate(candidate);
+    step.candidateMs = measure(candidate).worstCaseMean();
+
+    // The guard: strict measured improvement beyond the margin, or
+    // the incumbent stands. Ties roll back — a change that cannot
+    // prove itself is not worth carrying.
+    step.accepted =
+        step.candidateMs < step.incumbentMs - minImprovementMs_;
+    if (step.accepted)
+        incumbent_ = std::move(candidate);
+
+    history_.push_back(std::move(step));
+    return history_.back();
+}
+
+std::size_t
+GuardedOptimizer::accepted() const
+{
+    std::size_t count = 0;
+    for (const OptimizerStep &step : history_)
+        if (step.accepted)
+            ++count;
+    return count;
+}
+
+} // namespace av::exp

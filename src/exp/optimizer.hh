@@ -1,0 +1,102 @@
+/**
+ * @file
+ * GuardedOptimizer — the minimal closed loop on top of the trace
+ * analysis: propose one configuration change at a time, re-measure
+ * through the cached Runner, and keep the change only when the
+ * measured worst-path end-to-end latency actually improved.
+ *
+ * The guard is the whole point. A bottleneck classification suggests
+ * a remedy (a queue-bound node suggests shrinking its backlog, a
+ * GPU-bound one a lighter detector) but never proves it: the change
+ * is applied to a copy of the incumbent spec, replayed under the
+ * full simulation, and compared on the measured metric. An
+ * improvement below the configured margin — or a regression — rolls
+ * back to the incumbent. Every step leaves an audit record, so a
+ * bench can print the accept/rollback trail (BENCH_critical_path).
+ *
+ * Determinism: proposals are pure spec mutations, measurements come
+ * from the deterministic replay (cache-keyed), and steps are applied
+ * strictly in call order — the optimizer's trajectory is a pure
+ * function of (incumbent spec, proposal sequence).
+ */
+
+#ifndef AVSCOPE_EXP_OPTIMIZER_HH
+#define AVSCOPE_EXP_OPTIMIZER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace av::exp {
+
+/** Audit record of one proposal. */
+struct OptimizerStep
+{
+    std::string name;         ///< proposal label (reporting)
+    double incumbentMs = 0.0; ///< metric before the proposal
+    double candidateMs = 0.0; ///< metric with the proposal applied
+    bool accepted = false;    ///< candidate became the incumbent
+
+    double deltaMs() const { return candidateMs - incumbentMs; }
+};
+
+/**
+ * Accept-on-improvement hill climber over ExperimentSpec mutations.
+ * The metric is the worst computation path's mean end-to-end latency
+ * (RunResult::worstCaseMean) — the paper's end-to-end cost, in the
+ * stable mean form so the guard compares means, not tail noise.
+ */
+class GuardedOptimizer
+{
+  public:
+    /** Mutates a copy of the incumbent spec into a candidate. */
+    using Mutation = std::function<void(ExperimentSpec &)>;
+
+    /**
+     * @param runner shared (cached) experiment engine
+     * @param incumbent starting configuration
+     * @param min_improvement_ms accept only when the candidate beats
+     *        the incumbent by strictly more than this margin
+     */
+    GuardedOptimizer(Runner &runner, ExperimentSpec incumbent,
+                     double min_improvement_ms = 0.0);
+
+    /**
+     * Measure @p mutate applied to the incumbent; accept or roll
+     * back. Returns the recorded step (valid until the next call).
+     */
+    const OptimizerStep &propose(const std::string &name,
+                                 const Mutation &mutate);
+
+    /** The current best configuration. */
+    const ExperimentSpec &incumbent() const { return incumbent_; }
+
+    /** The incumbent's measured metric (replays on first use). */
+    double incumbentMetricMs();
+
+    /** The incumbent's full measured result (replays on first use). */
+    const prof::RunResult &incumbentResult();
+
+    /** Every proposal in call order. */
+    const std::vector<OptimizerStep> &history() const
+    {
+        return history_;
+    }
+
+    /** Proposals accepted so far. */
+    std::size_t accepted() const;
+
+  private:
+    const prof::RunResult &measure(const ExperimentSpec &spec);
+
+    Runner &runner_;
+    ExperimentSpec incumbent_;
+    double minImprovementMs_;
+    std::vector<OptimizerStep> history_;
+};
+
+} // namespace av::exp
+
+#endif // AVSCOPE_EXP_OPTIMIZER_HH

@@ -25,6 +25,7 @@ CpuModel::submit(CpuTask task)
     auto ts = std::make_unique<TaskState>();
     ts->id = nextId_++;
     ts->remainingCycles = std::max(task.cycles, 1.0);
+    ts->submitted = eq_.now();
     ts->task = std::move(task);
     TaskState *raw = ts.get();
     tasks_.emplace(raw->id, std::move(ts));
@@ -163,6 +164,10 @@ CpuModel::finish(TaskState *ts)
     coreTask_[static_cast<std::size_t>(ts->core)] = nullptr;
     eq_.deschedule(ts->completionEvent);
     ++acct_.tasksCompleted;
+    if (recorder_ && recorder_->enabled())
+        recorder_->recordCpuTask(
+            recorder_->intern(ts->task.owner), ts->submitted,
+            eq_.now(), ts->task.cycles / config_.freqGhz);
     auto callback = std::move(ts->task.onComplete);
     tasks_.erase(ts->id);
     dispatch();

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 
 namespace av::hw {
 
@@ -129,6 +130,16 @@ class CpuModel
      */
     double memDemandRatio() const;
 
+    /**
+     * Report every retired task to @p recorder (submit → retire,
+     * plus the contention-free nominal duration — the classifier's
+     * stall baseline). nullptr detaches.
+     */
+    void setTraceRecorder(trace::Recorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
   private:
     struct TaskState
     {
@@ -137,6 +148,7 @@ class CpuModel
         double remainingCycles;
         double rate = 0.0;       ///< cycles per tick while running
         sim::Tick lastUpdate = 0;
+        sim::Tick submitted = 0;
         std::int32_t core = -1;  ///< -1 while queued
         sim::EventId completionEvent = 0;
         sim::Tick sliceEnd = 0;
@@ -145,6 +157,7 @@ class CpuModel
     sim::EventQueue &eq_;
     CpuConfig config_;
     CpuAccounting acct_;
+    trace::Recorder *recorder_ = nullptr;
     std::uint64_t nextId_ = 1;
     std::deque<TaskState *> ready_;
     std::vector<TaskState *> coreTask_; ///< per core, null when idle

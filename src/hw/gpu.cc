@@ -121,6 +121,10 @@ GpuModel::kernelDone(ComputeEntry entry, sim::Tick started)
     acct_.weightedActiveSeconds += active_s * k.powerWeight;
     acct_.activeSecondsByOwner[entry.job->job.owner] += active_s;
     ++acct_.kernelsExecuted;
+    if (recorder_ && recorder_->enabled())
+        recorder_->recordGpuKernel(
+            recorder_->intern(entry.job->job.owner), started,
+            eq_.now());
     computeBusy_ = false;
     const std::shared_ptr<JobState> job = entry.job;
     pumpCompute();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 
 namespace av::hw {
 
@@ -114,6 +115,12 @@ class GpuModel
     const GpuConfig &config() const { return config_; }
     const GpuAccounting &accounting() const { return acct_; }
 
+    /** Report every executed kernel (start → end) to @p recorder. */
+    void setTraceRecorder(trace::Recorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
   private:
     struct JobState
     {
@@ -125,6 +132,7 @@ class GpuModel
     sim::EventQueue &eq_;
     GpuConfig config_;
     GpuAccounting acct_;
+    trace::Recorder *recorder_ = nullptr;
     bool computeBusy_ = false;
     bool copyBusy_ = false;
     double throttle_ = 1.0;

@@ -48,6 +48,14 @@ class Machine
     const PowerModel &power() const { return power_; }
     const MachineConfig &config() const { return config_; }
 
+    /** Attach @p recorder to both execution engines (CPU + GPU). */
+    void
+    setTraceRecorder(trace::Recorder *recorder)
+    {
+        cpu_->setTraceRecorder(recorder);
+        gpu_->setTraceRecorder(recorder);
+    }
+
   private:
     sim::EventQueue &eq_;
     MachineConfig config_;

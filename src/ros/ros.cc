@@ -111,6 +111,27 @@ Node::tryDispatch()
     }
     if (!best)
         return;
+    trace::Recorder *rec = graph_.traceRecorder();
+    if (rec && rec->enabled()) {
+        // The activation span opens at dispatch and closes when the
+        // handler's simulated execution calls done(). The Span rides
+        // in a shared_ptr because done() is a copyable std::function
+        // and the span handle is move-only.
+        auto span =
+            std::make_shared<trace::Span>(rec->beginActivation(
+                rec->intern(name_), rec->intern(best->topicName()),
+                best->headSeq(), best->headArrival(),
+                graph_.eventQueue().now()));
+        busy_ = true;
+        best->dispatchHead([this, span] {
+            AV_ASSERT(busy_,
+                      "done() called while node idle: ", name_);
+            span->end(graph_.eventQueue().now());
+            busy_ = false;
+            tryDispatch();
+        });
+        return;
+    }
     busy_ = true;
     best->dispatchHead([this] {
         AV_ASSERT(busy_, "done() called while node idle: ", name_);
@@ -142,6 +163,34 @@ RosGraph::transportCounters() const
     for (const auto &[name, topic] : topics_)
         out.add(topic->transportCounters());
     return out;
+}
+
+void
+RosGraph::setTraceRecorder(trace::Recorder *recorder)
+{
+    recorder_ = recorder;
+    for (const auto &[name, topic] : topics_)
+        topic->setTraceRecorder(recorder);
+}
+
+void
+RosGraph::setQueueDepthOverrides(
+    std::vector<QueueDepthOverride> overrides)
+{
+    queueOverrides_ = std::move(overrides);
+}
+
+std::size_t
+RosGraph::effectiveQueueDepth(const std::string &topic,
+                              const std::string &node,
+                              std::size_t declared) const
+{
+    std::size_t depth = declared;
+    for (const QueueDepthOverride &o : queueOverrides_) {
+        if (o.topic == topic && o.node == node)
+            depth = o.depth;
+    }
+    return depth;
 }
 
 TopicBase *

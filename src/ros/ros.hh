@@ -34,6 +34,7 @@
 #include "hw/machine.hh"
 #include "ros/spsc_ring.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace av::ros {
@@ -221,6 +222,22 @@ class TransportFaults
     std::map<std::string, std::vector<Policy>> policies_;
 };
 
+/**
+ * One runtime subscription-queue-depth override, keyed by
+ * (topic, subscriber node). Installed on the RosGraph *before* nodes
+ * subscribe (RunConfig::queueDepths); Node::subscribe consults
+ * RosGraph::effectiveQueueDepth so the declared literal in the stack
+ * source stays intact — avgraph's static extraction keeps reading
+ * the source of truth while the closed-loop optimizer explores
+ * alternatives at runtime.
+ */
+struct QueueDepthOverride
+{
+    std::string topic;
+    std::string node;
+    std::size_t depth = 1;
+};
+
 /** Type-erased subscription interface the Node dispatcher uses. */
 class SubscriptionBase
 {
@@ -233,6 +250,9 @@ class SubscriptionBase
     virtual bool hasPending() const = 0;
     /** Arrival time of the oldest queued message (valid if pending). */
     virtual sim::Tick headArrival() const = 0;
+    /** Sequence number of the oldest queued message (valid if
+     *  pending) — identifies the activation's trigger in traces. */
+    virtual std::uint64_t headSeq() const = 0;
     /**
      * Pop the head and invoke the handler, passing it @p done to
      * call when the node's simulated execution finishes.
@@ -302,6 +322,28 @@ class TopicBase
             if (a == publisher)
                 return;
         advertisers_.push_back(publisher);
+        // Publications are attributed to the first advertiser; a
+        // topic nobody advertised traces as externally published.
+        if (recorder_ && tracePublisher_ == 0)
+            tracePublisher_ = recorder_->intern(advertisers_.front());
+    }
+
+    /**
+     * Attach the per-drive recorder. Every publication feeds its
+     * publish log from here on (and the full event stream when
+     * tracing is enabled). Installed by RosGraph on creation and on
+     * every already-registered topic.
+     */
+    void
+    setTraceRecorder(trace::Recorder *recorder)
+    {
+        recorder_ = recorder;
+        if (!recorder_)
+            return;
+        traceTopic_ = recorder_->intern(name_);
+        if (!advertisers_.empty())
+            tracePublisher_ =
+                recorder_->intern(advertisers_.front());
     }
 
   protected:
@@ -309,6 +351,9 @@ class TopicBase
     std::uint64_t published_ = 0;
     TransportCounters counters_;
     std::vector<std::string> advertisers_;
+    trace::Recorder *recorder_ = nullptr;
+    trace::Id traceTopic_ = 0;     ///< interned name_
+    trace::Id tracePublisher_ = 0; ///< interned first advertiser
 };
 
 /**
@@ -410,6 +455,7 @@ class Subscription final : public SubscriptionBase
     void
     deliver(MessagePtr<T> msg, sim::Tick arrival)
     {
+        recordDeliver(msg->header.seq, arrival);
         if (node_->down()) {
             ++stats_.crashDiscarded;
             return;
@@ -428,6 +474,14 @@ class Subscription final : public SubscriptionBase
         const Pending *head = pending_.peek();
         AV_ASSERT(head != nullptr, "headArrival on empty queue");
         return head->arrival;
+    }
+
+    std::uint64_t
+    headSeq() const override
+    {
+        const Pending *head = pending_.peek();
+        AV_ASSERT(head != nullptr, "headSeq on empty queue");
+        return head->msg->header.seq;
     }
 
     void
@@ -449,6 +503,14 @@ class Subscription final : public SubscriptionBase
     }
 
   private:
+    /**
+     * Trace the message entering this queue. Defined inline in a
+     * template member on purpose: it needs the complete RosGraph,
+     * which is declared below — the body only instantiates at
+     * deliver()'s use sites, where the whole header is visible.
+     */
+    void recordDeliver(std::uint64_t seq, sim::Tick arrival);
+
     struct Pending
     {
         sim::Tick arrival = 0;
@@ -515,6 +577,13 @@ class Topic final : public TopicBase
         ++counters_.published;
         for (const Tap &tap : taps_)
             tap(msg);
+        // Recorded before the fault consult, like the taps: the
+        // publisher produced the message even if the wire loses it.
+        if (recorder_)
+            recorder_->recordPublish(
+                traceTopic_, tracePublisher_, msg.header.seq,
+                msg.header.stamp, msg.header.origins.lidar,
+                msg.header.origins.camera, eq_.now());
         Disruption bad;
         if (faults_ && faults_->hasPoliciesFor(name_))
             bad = faults_->disruptionFor(name_, msg.header,
@@ -653,6 +722,7 @@ class RosGraph
             auto created = std::make_unique<Topic<T>>(
                 name, eventQueue(), transport_, &faults_);
             Topic<T> *raw = created.get();
+            raw->setTraceRecorder(recorder_);
             topics_.emplace(name, std::move(created));
             return *raw;
         }
@@ -697,6 +767,38 @@ class RosGraph
     /** Transport-fault hub every topic of this graph consults. */
     TransportFaults &faults() { return faults_; }
 
+    /**
+     * Attach @p recorder as the graph's single recording surface:
+     * every existing and future topic feeds it. Pass nullptr to
+     * detach. The recorder must outlive the graph's topics.
+     */
+    void setTraceRecorder(trace::Recorder *recorder);
+
+    /** The attached recorder, or nullptr. */
+    trace::Recorder *traceRecorder() const { return recorder_; }
+
+    /**
+     * Install runtime queue-depth overrides. Must be called before
+     * the affected nodes subscribe; Node::subscribe consults
+     * effectiveQueueDepth at subscription time.
+     */
+    void setQueueDepthOverrides(
+        std::vector<QueueDepthOverride> overrides);
+
+    const std::vector<QueueDepthOverride> &
+    queueDepthOverrides() const
+    {
+        return queueOverrides_;
+    }
+
+    /**
+     * The queue depth one (topic, node) subscription actually gets:
+     * the last matching override, or the @p declared source literal.
+     */
+    std::size_t effectiveQueueDepth(const std::string &topic,
+                                    const std::string &node,
+                                    std::size_t declared) const;
+
     void registerNode(Node *node);
     void unregisterNode(Node *node);
 
@@ -706,6 +808,8 @@ class RosGraph
     TransportFaults faults_;
     std::map<std::string, std::unique_ptr<TopicBase>> topics_;
     std::vector<Node *> nodes_;
+    trace::Recorder *recorder_ = nullptr;
+    std::vector<QueueDepthOverride> queueOverrides_;
 };
 
 // Node template methods -------------------------------------------------
@@ -715,10 +819,25 @@ void
 Node::subscribe(const std::string &topic_name, std::size_t queue_depth,
                 Handler<T> handler)
 {
+    const std::size_t depth =
+        graph_.effectiveQueueDepth(topic_name, name_, queue_depth);
     auto sub = std::make_unique<Subscription<T>>(
-        topic_name, this, queue_depth, std::move(handler));
+        topic_name, this, depth, std::move(handler));
     graph_.topic<T>(topic_name).addSubscriber(sub.get());
     subs_.push_back(std::move(sub));
+}
+
+// Subscription template methods ------------------------------------------
+
+template <typename T>
+void
+Subscription<T>::recordDeliver(std::uint64_t seq, sim::Tick arrival)
+{
+    trace::Recorder *rec = node_->graph().traceRecorder();
+    if (!rec || !rec->enabled())
+        return;
+    rec->recordDeliver(rec->intern(topicName_),
+                       rec->intern(node_->name()), seq, arrival);
 }
 
 } // namespace av::ros

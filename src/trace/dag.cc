@@ -1,0 +1,305 @@
+#include "trace/dag.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace av::trace {
+
+namespace {
+
+/** Key of one publication: (topic, seq) identifies it uniquely. */
+using PubKey = std::pair<Id, std::uint64_t>;
+
+double
+ms(sim::Tick ticks)
+{
+    return sim::ticksToMs(ticks);
+}
+
+sim::Tick
+saturatingSub(sim::Tick a, sim::Tick b)
+{
+    return a > b ? a - b : 0;
+}
+
+/**
+ * The activation of one node whose span produced the publication at
+ * @p tick: the earliest activation with start <= tick <= end. When a
+ * publication lands exactly on a span boundary (the producing
+ * activation ends and the next dispatch begins on the same tick),
+ * scanning in start order picks the producer, not the successor.
+ */
+const Event *
+containingActivation(const std::vector<const Event *> &activations,
+                     sim::Tick tick)
+{
+    for (const Event *act : activations) {
+        if (act->start > tick)
+            break;
+        if (act->end >= tick)
+            return act;
+    }
+    return nullptr;
+}
+
+std::string
+classify(const NodeSlack &row, const ClassifierRules &rules)
+{
+    if (row.activations == 0)
+        return "idle";
+    if (row.meanQueueWaitMs >
+        rules.queueBoundRatio * row.meanSpanMs)
+        return "queue";
+    if (row.meanStallMs >
+        rules.contentionStallFraction * row.meanSpanMs)
+        return "contention";
+    if (row.meanGpuMs > row.meanCpuMs)
+        return "gpu";
+    return "cpu";
+}
+
+/**
+ * Map a hardware-accounting owner onto the node whose activations it
+ * belongs to. Owners usually equal the node name; the costmap node
+ * splits its two callbacks into costmap_generator_obj /
+ * costmap_generator_points, so the longest node name that prefixes
+ * the owner (at an underscore boundary) wins.
+ */
+const std::string *
+ownerNode(const std::string &owner,
+          const std::set<std::string> &node_names)
+{
+    const auto exact = node_names.find(owner);
+    if (exact != node_names.end())
+        return &*exact;
+    const std::string *best = nullptr;
+    for (const std::string &node : node_names) {
+        if (owner.size() <= node.size() ||
+            owner.compare(0, node.size(), node) != 0 ||
+            owner[node.size()] != '_')
+            continue;
+        if (!best || node.size() > best->size())
+            best = &node;
+    }
+    return best;
+}
+
+} // namespace
+
+const NodeSlack *
+Summary::findNode(const std::string &name) const
+{
+    for (const NodeSlack &row : nodes)
+        if (row.node == name)
+            return &row;
+    return nullptr;
+}
+
+Summary
+analyze(const Recorder &recorder, const ClassifierRules &rules)
+{
+    Summary out;
+    out.enabled = true;
+
+    const std::vector<Event> events = recorder.canonicalEvents();
+    out.events = events.size();
+
+    // ---- index the stream ---------------------------------------
+    std::map<PubKey, const Event *> pub_by_key;
+    std::map<Id, std::vector<const Event *>> acts_by_node;
+    std::set<Id> published_topics;
+    std::set<Id> delivered_topics;
+    std::vector<const Event *> delivers;
+    std::map<std::string, double> cpu_nominal_ns;
+    std::map<std::string, double> gpu_ns;
+
+    for (const Event &ev : events) {
+        switch (ev.kind) {
+          case EventKind::Publish:
+            pub_by_key.emplace(PubKey{ev.topic, ev.seq}, &ev);
+            published_topics.insert(ev.topic);
+            break;
+          case EventKind::Deliver:
+            delivered_topics.insert(ev.topic);
+            delivers.push_back(&ev);
+            break;
+          case EventKind::Activation:
+            acts_by_node[ev.node].push_back(&ev);
+            break;
+          case EventKind::CpuTask:
+            cpu_nominal_ns[recorder.name(ev.node)] += ev.nominalNs;
+            break;
+          case EventKind::GpuKernel:
+            gpu_ns[recorder.name(ev.node)] +=
+                static_cast<double>(ev.end - ev.start);
+            break;
+        }
+    }
+    // Canonical order sorts activations by tick (= start) already;
+    // keep the per-node lists in start order explicitly.
+    for (auto &[node, acts] : acts_by_node)
+        std::stable_sort(acts.begin(), acts.end(),
+                         [](const Event *a, const Event *b) {
+                             return a->start < b->start;
+                         });
+
+    // ---- traced edges (topic, from, to) -------------------------
+    std::map<std::tuple<std::string, std::string, std::string>,
+             std::uint64_t>
+        edge_count;
+    for (const Event *ev : delivers) {
+        const auto pub = pub_by_key.find(PubKey{ev->topic, ev->seq});
+        const std::string from =
+            (pub != pub_by_key.end() && pub->second->node != 0)
+                ? recorder.name(pub->second->node)
+                : kExternalPublisher;
+        ++edge_count[{recorder.name(ev->topic), from,
+                      recorder.name(ev->node)}];
+    }
+    for (const auto &[key, count] : edge_count)
+        out.edges.push_back(EdgeUse{std::get<0>(key),
+                                    std::get<1>(key),
+                                    std::get<2>(key), count});
+
+    // ---- per-node slack + bottleneck class ----------------------
+    std::set<std::string> node_names;
+    for (const auto &[node, acts] : acts_by_node)
+        node_names.insert(recorder.name(node));
+
+    std::map<std::string, NodeSlack> rows;
+    for (const auto &[node, acts] : acts_by_node) {
+        NodeSlack row;
+        row.node = recorder.name(node);
+        row.activations = acts.size();
+        sim::Tick wait = 0, span = 0;
+        for (const Event *act : acts) {
+            wait += saturatingSub(act->start, act->arrival);
+            span += saturatingSub(act->end, act->start);
+        }
+        const double n = static_cast<double>(acts.size());
+        row.meanQueueWaitMs = ms(wait) / n;
+        row.meanSpanMs = ms(span) / n;
+        rows.emplace(row.node, std::move(row));
+    }
+    // A node that received deliveries but never activated (crashed,
+    // or down for the whole drive) still gets a row: zero
+    // activations, classified "idle".
+    for (const Event *ev : delivers) {
+        const std::string &name = recorder.name(ev->node);
+        if (rows.count(name))
+            continue;
+        NodeSlack row;
+        row.node = name;
+        rows.emplace(name, std::move(row));
+    }
+    // Attribute hardware work to the owning node's activations.
+    for (const auto &[owner, nominal] : cpu_nominal_ns) {
+        if (const std::string *node = ownerNode(owner, node_names))
+            rows[*node].meanCpuMs +=
+                nominal / 1e6 /
+                static_cast<double>(rows[*node].activations);
+    }
+    for (const auto &[owner, active] : gpu_ns) {
+        if (const std::string *node = ownerNode(owner, node_names))
+            rows[*node].meanGpuMs +=
+                active / 1e6 /
+                static_cast<double>(rows[*node].activations);
+    }
+    for (auto &[name, row] : rows) {
+        row.meanStallMs = std::max(
+            0.0, row.meanSpanMs - row.meanCpuMs - row.meanGpuMs);
+        row.bottleneck = classify(row, rules);
+        out.nodes.push_back(row);
+    }
+
+    // ---- worst frame at a sink topic ----------------------------
+    // Sinks are topics that are published but never delivered to any
+    // subscription — the pipeline's terminal outputs.
+    const Event *worst = nullptr;
+    sim::Tick worst_e2e = 0;
+    for (const Event &ev : events) {
+        if (ev.kind != EventKind::Publish)
+            continue;
+        if (delivered_topics.count(ev.topic))
+            continue;
+        sim::Tick origin = 0;
+        if (ev.originLidar && ev.originCamera)
+            origin = std::min(ev.originLidar, ev.originCamera);
+        else
+            origin = ev.originLidar ? ev.originLidar
+                                    : ev.originCamera;
+        if (origin == 0 || ev.tick < origin)
+            continue;
+        const sim::Tick e2e = ev.tick - origin;
+        // Strict >: ties resolve to the earliest publication in
+        // canonical order, keeping the walk deterministic.
+        if (!worst || e2e > worst_e2e) {
+            worst = &ev;
+            worst_e2e = e2e;
+        }
+    }
+
+    if (!worst)
+        return out;
+    out.criticalPathMs = ms(worst_e2e);
+    out.terminalTopic = recorder.name(worst->topic);
+
+    // ---- backward walk to the sensor source ---------------------
+    std::set<const Event *> visited;
+    const Event *pub = worst;
+    while (pub) {
+        if (pub->node == 0)
+            break; // externally published (bag replay): the source
+        const auto acts = acts_by_node.find(pub->node);
+        const Event *act =
+            acts == acts_by_node.end()
+                ? nullptr
+                : containingActivation(acts->second, pub->tick);
+        if (!act)
+            break; // published outside any activation (timer-driven)
+        PathStep step;
+        step.node = recorder.name(act->node);
+        step.topic = recorder.name(act->topic);
+        step.seq = act->seq;
+        step.queueWaitMs =
+            ms(saturatingSub(act->start, act->arrival));
+        step.computeMs = ms(saturatingSub(pub->tick, act->start));
+        out.criticalPath.push_back(std::move(step));
+
+        const auto prev =
+            pub_by_key.find(PubKey{act->topic, act->seq});
+        pub = prev == pub_by_key.end() ? nullptr : prev->second;
+        if (pub && !visited.insert(pub).second)
+            break; // defensive: a malformed stream must not loop
+    }
+    std::reverse(out.criticalPath.begin(), out.criticalPath.end());
+    return out;
+}
+
+std::string
+canonicalDag(const Summary &summary)
+{
+    std::ostringstream os;
+    os << "dag v1\n";
+    os << "sink "
+       << (summary.terminalTopic.empty() ? "-"
+                                         : summary.terminalTopic)
+       << '\n';
+    os << "steps " << summary.criticalPath.size() << '\n';
+    for (const PathStep &step : summary.criticalPath)
+        os << "step " << step.node << ' ' << step.topic << '\n';
+    os << "nodes " << summary.nodes.size() << '\n';
+    for (const NodeSlack &row : summary.nodes)
+        os << "node " << row.node << ' ' << row.bottleneck << '\n';
+    os << "edges " << summary.edges.size() << '\n';
+    for (const EdgeUse &edge : summary.edges)
+        os << "edge " << edge.topic << ' ' << edge.from << ' '
+           << edge.to << '\n';
+    return os.str();
+}
+
+} // namespace av::trace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * BenchOptions tests: typed parsing, the fluent declaration API and
+ * — the reason the parser throws instead of aborting — the
+ * diagnostics for unknown flags, missing values and type mismatches.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "options.hh"
+
+namespace {
+
+using av::bench::BenchOptions;
+using av::bench::commonOptions;
+
+/** Parse the given argv words against @p options. */
+BenchOptions &
+parse(BenchOptions &options, std::vector<std::string> args)
+{
+    args.insert(args.begin(), "bench");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    return options.parse(static_cast<int>(argv.size()),
+                         argv.data());
+}
+
+/** The what() of the std::invalid_argument @p thunk must throw. */
+template <typename Thunk>
+std::string
+diagnostic(Thunk thunk)
+{
+    try {
+        thunk();
+    } catch (const std::invalid_argument &error) {
+        return error.what();
+    }
+    ADD_FAILURE() << "expected std::invalid_argument";
+    return "";
+}
+
+TEST(BenchOptions, TypedValuesAndDefaults)
+{
+    BenchOptions opts = commonOptions();
+    parse(opts, {"--duration", "8", "--csv", "--jobs=3",
+                 "--transport", "copy", "positional"});
+
+    EXPECT_EQ(opts.integer("duration"), 8);
+    EXPECT_TRUE(opts.flag("csv"));
+    EXPECT_EQ(opts.integer("jobs"), 3);
+    EXPECT_EQ(opts.text("transport"), "copy");
+    // Untouched options keep their declared fallbacks.
+    EXPECT_EQ(opts.integer("seed"), 2020);
+    EXPECT_FALSE(opts.flag("no-cache"));
+    EXPECT_FALSE(opts.flag("trace"));
+    // given() distinguishes explicit from default.
+    EXPECT_TRUE(opts.given("duration"));
+    EXPECT_FALSE(opts.given("seed"));
+    ASSERT_EQ(opts.positional().size(), 1u);
+    EXPECT_EQ(opts.positional()[0], "positional");
+}
+
+TEST(BenchOptions, FluentExtrasChainOntoTheCommonSet)
+{
+    BenchOptions opts = commonOptions()
+                            .text("json", "out.json", "output path")
+                            .flag("smoke", "short run")
+                            .real("scale", 1.5, "work scale");
+    parse(opts, {"--smoke", "--scale", "0.25"});
+    EXPECT_EQ(opts.text("json"), "out.json");
+    EXPECT_TRUE(opts.flag("smoke"));
+    EXPECT_DOUBLE_EQ(opts.real("scale"), 0.25);
+}
+
+TEST(BenchOptions, ExplicitBooleanValuesParse)
+{
+    BenchOptions opts = commonOptions();
+    parse(opts, {"--csv=false", "--no-cache=yes"});
+    EXPECT_FALSE(opts.flag("csv"));
+    EXPECT_TRUE(opts.flag("no-cache"));
+}
+
+TEST(BenchOptions, UnknownFlagDiagnosticNamesFlagAndUsage)
+{
+    const std::string what = diagnostic([] {
+        BenchOptions opts = commonOptions();
+        parse(opts, {"--bogus", "1"});
+    });
+    EXPECT_NE(what.find("unknown flag --bogus"), std::string::npos);
+    // The usage text rides along so a typo shows the real flags.
+    EXPECT_NE(what.find("--duration"), std::string::npos);
+    EXPECT_NE(what.find("--transport"), std::string::npos);
+}
+
+TEST(BenchOptions, TypeMismatchDiagnosticNamesTheValue)
+{
+    const std::string what = diagnostic([] {
+        BenchOptions opts = commonOptions();
+        parse(opts, {"--jobs", "many"});
+    });
+    EXPECT_NE(what.find("--jobs"), std::string::npos);
+    EXPECT_NE(what.find("expects an integer"), std::string::npos);
+    EXPECT_NE(what.find("'many'"), std::string::npos);
+
+    const std::string real_what = diagnostic([] {
+        BenchOptions opts =
+            BenchOptions().real("scale", 1.0, "work scale");
+        parse(opts, {"--scale=big"});
+    });
+    EXPECT_NE(real_what.find("expects a number"),
+              std::string::npos);
+}
+
+TEST(BenchOptions, MissingValueDiagnostic)
+{
+    const std::string what = diagnostic([] {
+        BenchOptions opts = commonOptions();
+        parse(opts, {"--duration"});
+    });
+    EXPECT_NE(what.find("--duration requires a"),
+              std::string::npos);
+
+    // A following flag does not count as the missing value.
+    const std::string chained = diagnostic([] {
+        BenchOptions opts = commonOptions();
+        parse(opts, {"--duration", "--csv"});
+    });
+    EXPECT_NE(chained.find("--duration requires a"),
+              std::string::npos);
+}
+
+TEST(BenchOptions, BadBooleanValueDiagnostic)
+{
+    const std::string what = diagnostic([] {
+        BenchOptions opts = commonOptions();
+        parse(opts, {"--csv=maybe"});
+    });
+    EXPECT_NE(what.find("--csv expects true/false"),
+              std::string::npos);
+}
+
+TEST(BenchOptions, UsageListsEveryDeclaredOption)
+{
+    const std::string usage = commonOptions().usage();
+    for (const char *flag :
+         {"--duration", "--seed", "--csv", "--jobs", "--cache-dir",
+          "--no-cache", "--transport", "--trace"})
+        EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * GuardedOptimizer tests: the accept-on-measured-improvement guard.
+ * A genuine fix (shrinking a deliberately oversized /image_raw queue
+ * at the detector) must be accepted; a seeded regression (growing
+ * it) must be measured, rejected and rolled back; a no-op proposal
+ * ties and must also be rolled back. History records every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/optimizer.hh"
+
+namespace {
+
+using namespace av;
+
+/** Short traced SSD512 drive with an oversized detector queue. */
+exp::ExperimentSpec
+misconfiguredSpec()
+{
+    return exp::spec()
+        .detector(perception::DetectorKind::Ssd512)
+        .durationSeconds(4)
+        .seed(2020)
+        .traced()
+        .queueDepth("/image_raw", "vision_detection", 4)
+        .named("depth 4");
+}
+
+/** Replace the queue override with @p depth. */
+exp::GuardedOptimizer::Mutation
+setDepth(std::size_t depth)
+{
+    return [depth](exp::ExperimentSpec &spec) {
+        spec.config.queueDepths.clear();
+        spec.queueDepth("/image_raw", "vision_detection", depth)
+            .named("depth " + std::to_string(depth));
+    };
+}
+
+TEST(GuardedOptimizer, AcceptsFixRejectsRegressionAndTies)
+{
+    exp::Runner runner(exp::RunnerConfig{2, ""});
+    exp::GuardedOptimizer optimizer(runner, misconfiguredSpec());
+
+    const double start = optimizer.incumbentMetricMs();
+    ASSERT_GT(start, 0.0);
+
+    // A real fix: SSD512 cannot keep up with the camera, so queued
+    // frames are stale by construction; depth 1 keeps only the
+    // freshest. Must measurably improve and be accepted.
+    const exp::OptimizerStep fix =
+        optimizer.propose("shrink to 1", setDepth(1));
+    EXPECT_TRUE(fix.accepted);
+    EXPECT_LT(fix.candidateMs, fix.incumbentMs);
+    EXPECT_DOUBLE_EQ(fix.incumbentMs, start);
+    EXPECT_EQ(optimizer.incumbent().label, "depth 1");
+    EXPECT_DOUBLE_EQ(optimizer.incumbentMetricMs(),
+                     fix.candidateMs);
+
+    // A seeded regression: depth 8 queues even more stale frames.
+    // Must be measured, rejected, and the incumbent kept.
+    const exp::OptimizerStep regression =
+        optimizer.propose("grow to 8 (regression)", setDepth(8));
+    EXPECT_FALSE(regression.accepted);
+    EXPECT_GT(regression.candidateMs, regression.incumbentMs);
+    EXPECT_EQ(optimizer.incumbent().label, "depth 1");
+    EXPECT_DOUBLE_EQ(optimizer.incumbentMetricMs(),
+                     fix.candidateMs);
+
+    // A no-op proposal measures identically (deterministic replay):
+    // no strict improvement, so it must roll back too.
+    const exp::OptimizerStep noop = optimizer.propose(
+        "no-op", [](exp::ExperimentSpec &) {});
+    EXPECT_FALSE(noop.accepted);
+    EXPECT_DOUBLE_EQ(noop.candidateMs, noop.incumbentMs);
+    EXPECT_DOUBLE_EQ(noop.deltaMs(), 0.0);
+
+    // Audit trail: every proposal, in order, with its outcome.
+    ASSERT_EQ(optimizer.history().size(), 3u);
+    EXPECT_EQ(optimizer.history()[0].name, "shrink to 1");
+    EXPECT_TRUE(optimizer.history()[0].accepted);
+    EXPECT_FALSE(optimizer.history()[1].accepted);
+    EXPECT_FALSE(optimizer.history()[2].accepted);
+    EXPECT_EQ(optimizer.accepted(), 1u);
+
+    // The loop never ends worse than it started.
+    EXPECT_LE(optimizer.incumbentMetricMs(), start);
+}
+
+TEST(GuardedOptimizer, ImprovementMarginGatesMarginalWins)
+{
+    exp::Runner runner(exp::RunnerConfig{2, ""});
+    // With an absurdly large required margin, even the genuine fix
+    // must be rolled back: the guard compares against
+    // incumbent − margin, not the raw incumbent.
+    exp::GuardedOptimizer optimizer(runner, misconfiguredSpec(),
+                                    1e6);
+    const exp::OptimizerStep fix =
+        optimizer.propose("shrink to 1", setDepth(1));
+    EXPECT_LT(fix.candidateMs, fix.incumbentMs);
+    EXPECT_FALSE(fix.accepted);
+    EXPECT_EQ(optimizer.incumbent().label, "depth 4");
+}
+
+} // namespace

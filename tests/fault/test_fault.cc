@@ -332,11 +332,14 @@ TEST(FaultInjector, InvalidPlansThrowBeforeSimulation)
 TEST(RecoveryProbe, MeasuresOnsetToFirstPostWindowPublication)
 {
     Rig rig;
-    // Advertise first: the probe taps the topic at construction.
+    // The probe reads the recorder's publish log, so the graph
+    // needs a recorder attached (the publish log is always on).
+    trace::Recorder recorder;
+    rig.graph.setTraceRecorder(&recorder);
     auto pub = rig.graph.advertise<IntMsg>("/t");
     fault::FaultPlan plan;
     plan.frameLoss("/t", 10 * oneMs, 20 * oneMs, 0.0);
-    prof::RecoveryProbe probe(rig.graph, plan);
+    prof::RecoveryProbe probe(recorder, plan);
     for (const Tick at : {15 * oneMs, 40 * oneMs, 50 * oneMs})
         rig.eq.schedule(at, [&pub, &rig, at] {
             ros::Header h;

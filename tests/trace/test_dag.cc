@@ -1,0 +1,181 @@
+/**
+ * @file
+ * DAG analysis on hand-built event streams: critical-path
+ * reconstruction (queue wait vs compute split per step), sink
+ * selection, traced edges, idle nodes and the canonical rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/dag.hh"
+
+namespace {
+
+using namespace av;
+using sim::oneMs;
+
+/**
+ * A two-stage pipeline with a bystander:
+ *
+ *   /sensor (external, camera origin 10 ms)
+ *     -> A (arrives 12, dispatched 15, done 25; 9 ms nominal CPU)
+ *     -> /mid (published 25)
+ *     -> B (arrives 26, dispatched 30, done 40; 6 ms GPU kernel)
+ *     -> /out (published 40, never delivered: the sink)
+ *   /sensor is also delivered to C, which never activates (idle).
+ */
+void
+pipelineStream(trace::Recorder &rec)
+{
+    rec.setEnabled(true);
+    const trace::Id sensor = rec.intern("/sensor");
+    const trace::Id mid = rec.intern("/mid");
+    const trace::Id out = rec.intern("/out");
+    const trace::Id a = rec.intern("A");
+    const trace::Id b = rec.intern("B");
+    const trace::Id c = rec.intern("C");
+
+    rec.recordPublish(sensor, 0, 5, 10 * oneMs, 0, 10 * oneMs,
+                      10 * oneMs);
+    rec.recordDeliver(sensor, a, 5, 12 * oneMs);
+    rec.recordDeliver(sensor, c, 5, 12 * oneMs);
+
+    trace::Span actA = rec.beginActivation(a, sensor, 5, 12 * oneMs,
+                                           15 * oneMs);
+    rec.recordCpuTask(a, 15 * oneMs, 24 * oneMs, 9e6);
+    rec.recordPublish(mid, a, 5, 25 * oneMs, 0, 10 * oneMs,
+                      25 * oneMs);
+    actA.end(25 * oneMs);
+
+    rec.recordDeliver(mid, b, 5, 26 * oneMs);
+    trace::Span actB = rec.beginActivation(b, mid, 5, 26 * oneMs,
+                                           30 * oneMs);
+    rec.recordGpuKernel(b, 30 * oneMs, 36 * oneMs);
+    rec.recordPublish(out, b, 5, 40 * oneMs, 0, 10 * oneMs,
+                      40 * oneMs);
+    actB.end(40 * oneMs);
+}
+
+TEST(TraceDag, CriticalPathWalksBackToTheExternalSource)
+{
+    trace::Recorder rec;
+    pipelineStream(rec);
+    const trace::Summary s = trace::analyze(rec);
+
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.terminalTopic, "/out");
+    EXPECT_DOUBLE_EQ(s.criticalPathMs, 30.0); // publish 40 − origin 10
+
+    ASSERT_EQ(s.criticalPath.size(), 2u);
+    EXPECT_EQ(s.criticalPath[0].node, "A");
+    EXPECT_EQ(s.criticalPath[0].topic, "/sensor");
+    EXPECT_EQ(s.criticalPath[0].seq, 5u);
+    EXPECT_DOUBLE_EQ(s.criticalPath[0].queueWaitMs, 3.0); // 15 − 12
+    EXPECT_DOUBLE_EQ(s.criticalPath[0].computeMs, 10.0);  // 25 − 15
+    EXPECT_EQ(s.criticalPath[1].node, "B");
+    EXPECT_EQ(s.criticalPath[1].topic, "/mid");
+    EXPECT_DOUBLE_EQ(s.criticalPath[1].queueWaitMs, 4.0); // 30 − 26
+    EXPECT_DOUBLE_EQ(s.criticalPath[1].computeMs, 10.0);  // 40 − 30
+}
+
+TEST(TraceDag, SlackRowsSplitWaitComputeAndHardwareShares)
+{
+    trace::Recorder rec;
+    pipelineStream(rec);
+    const trace::Summary s = trace::analyze(rec);
+
+    const trace::NodeSlack *a = s.findNode("A");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->activations, 1u);
+    EXPECT_DOUBLE_EQ(a->meanQueueWaitMs, 3.0);
+    EXPECT_DOUBLE_EQ(a->meanSpanMs, 10.0);
+    EXPECT_DOUBLE_EQ(a->meanCpuMs, 9.0);
+    EXPECT_DOUBLE_EQ(a->meanGpuMs, 0.0);
+    EXPECT_DOUBLE_EQ(a->meanStallMs, 1.0);
+    EXPECT_EQ(a->bottleneck, "cpu");
+
+    const trace::NodeSlack *b = s.findNode("B");
+    ASSERT_NE(b, nullptr);
+    EXPECT_DOUBLE_EQ(b->meanGpuMs, 6.0);
+    EXPECT_EQ(b->bottleneck, "gpu");
+
+    // C received a delivery but never ran: idle, zero everything.
+    const trace::NodeSlack *c = s.findNode("C");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->activations, 0u);
+    EXPECT_EQ(c->bottleneck, "idle");
+
+    EXPECT_EQ(s.findNode("unknown"), nullptr);
+}
+
+TEST(TraceDag, EdgesCarryPublisherAttributionAndCounts)
+{
+    trace::Recorder rec;
+    pipelineStream(rec);
+    const trace::Summary s = trace::analyze(rec);
+
+    ASSERT_EQ(s.edges.size(), 3u);
+    // Sorted by (topic, from, to).
+    EXPECT_EQ(s.edges[0].topic, "/mid");
+    EXPECT_EQ(s.edges[0].from, "A");
+    EXPECT_EQ(s.edges[0].to, "B");
+    EXPECT_EQ(s.edges[0].messages, 1u);
+    EXPECT_EQ(s.edges[1].topic, "/sensor");
+    EXPECT_EQ(s.edges[1].from, trace::kExternalPublisher);
+    EXPECT_EQ(s.edges[1].to, "A");
+    EXPECT_EQ(s.edges[2].to, "C");
+}
+
+TEST(TraceDag, CanonicalRenderingIsStructuralAndStable)
+{
+    trace::Recorder rec;
+    pipelineStream(rec);
+    const std::string text = trace::canonicalDag(trace::analyze(rec));
+    EXPECT_EQ(text, "dag v1\n"
+                    "sink /out\n"
+                    "steps 2\n"
+                    "step A /sensor\n"
+                    "step B /mid\n"
+                    "nodes 3\n"
+                    "node A cpu\n"
+                    "node B gpu\n"
+                    "node C idle\n"
+                    "edges 3\n"
+                    "edge /mid A B\n"
+                    "edge /sensor (external) A\n"
+                    "edge /sensor (external) C\n");
+}
+
+TEST(TraceDag, EmptyStreamYieldsEmptyEnabledSummary)
+{
+    trace::Recorder rec;
+    rec.setEnabled(true);
+    const trace::Summary s = trace::analyze(rec);
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.events, 0u);
+    EXPECT_EQ(s.terminalTopic, "");
+    EXPECT_DOUBLE_EQ(s.criticalPathMs, 0.0);
+    EXPECT_TRUE(s.criticalPath.empty());
+    EXPECT_TRUE(s.nodes.empty());
+    EXPECT_TRUE(s.edges.empty());
+    EXPECT_EQ(trace::canonicalDag(s), "dag v1\nsink -\nsteps 0\n"
+                                      "nodes 0\nedges 0\n");
+}
+
+TEST(TraceDag, WorstFrameTiesResolveToTheEarliestPublication)
+{
+    trace::Recorder rec;
+    rec.setEnabled(true);
+    const trace::Id s1 = rec.intern("/sink_b");
+    const trace::Id s2 = rec.intern("/sink_a");
+    // Same 5 ms end-to-end latency at both sinks; the canonical
+    // order puts /sink_a's publication first at the shared tick, so
+    // the tie must resolve to it.
+    rec.recordPublish(s1, 0, 1, 0, 5 * oneMs, 0, 10 * oneMs);
+    rec.recordPublish(s2, 0, 1, 0, 5 * oneMs, 0, 10 * oneMs);
+    const trace::Summary sum = trace::analyze(rec);
+    EXPECT_EQ(sum.terminalTopic, "/sink_a");
+    EXPECT_DOUBLE_EQ(sum.criticalPathMs, 5.0);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end trace validation on a real fixed-seed drive:
+ *
+ *  1. Golden canonical-DAG snapshot — the traced drive's structural
+ *     DAG (sink, critical-path node sequence, bottleneck classes,
+ *     edge set) must match tests/trace/golden_dag.txt, the dynamic
+ *     counterpart of avgraph's golden_topology.txt. Timing
+ *     calibrations may drift; the traced structure may not.
+ *     Regenerate after an intentional change with:
+ *       AVSCOPE_WRITE_GOLDEN=1 ./avscope_tests \
+ *           --gtest_filter='TraceGolden.*'
+ *  2. Static cross-validation — every edge the trace observed at
+ *     runtime must project onto the avgraph static topology: the
+ *     topic exists, the subscriber has a static subscribe site, and
+ *     the publisher (when not the external bag) a static advertise
+ *     site. The trace cannot invent communication the source does
+ *     not declare.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "avgraph.hh"
+#include "core/characterization.hh"
+#include "trace/dag.hh"
+
+namespace {
+
+using namespace av;
+
+/** One traced 2 s fixed-seed drive, shared by both tests. */
+const trace::Summary &
+tracedDrive()
+{
+    static const trace::Summary summary = [] {
+        world::ScenarioConfig scenario;
+        scenario.seed = 2020;
+        const auto drive =
+            prof::makeDrive(scenario, 2 * sim::oneSec);
+        prof::RunConfig config;
+        config.trace = true;
+        prof::CharacterizationRun run(drive, config);
+        run.execute();
+        return run.traceSummary();
+    }();
+    return summary;
+}
+
+TEST(TraceGolden, CanonicalDagMatchesGoldenSnapshot)
+{
+    const std::string actual = trace::canonicalDag(tracedDrive());
+    ASSERT_FALSE(actual.empty());
+
+    const std::string path =
+        std::string(AVSCOPE_SOURCE_DIR) +
+        "/tests/trace/golden_dag.txt";
+    if (std::getenv("AVSCOPE_WRITE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden snapshot regenerated: " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden_dag.txt fixture";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden.str(), actual)
+        << "traced DAG structure changed; if intentional, "
+           "regenerate with AVSCOPE_WRITE_GOLDEN=1";
+}
+
+TEST(TraceGolden, TracedEdgesProjectOntoStaticTopology)
+{
+    const trace::Summary &summary = tracedDrive();
+    ASSERT_FALSE(summary.edges.empty());
+
+    const graph::StaticGraph g =
+        graph::extractTree(AVSCOPE_SOURCE_DIR);
+    ASSERT_FALSE(g.topics.empty());
+
+    for (const trace::EdgeUse &edge : summary.edges) {
+        const auto entry = g.topics.find(edge.topic);
+        ASSERT_NE(entry, g.topics.end())
+            << "traced topic " << edge.topic
+            << " missing from the static graph";
+
+        bool subscribed = false;
+        for (const graph::SubSite &sub : entry->second.subs)
+            subscribed |= sub.node == edge.to;
+        EXPECT_TRUE(subscribed)
+            << "traced edge " << edge.topic << " -> " << edge.to
+            << " has no static subscribe site";
+
+        if (edge.from == trace::kExternalPublisher) {
+            // Externally-fed topics must be declared bag channels
+            // (or probe injections), never silent.
+            EXPECT_FALSE(entry->second.externals.empty() &&
+                         !entry->second.pubs.empty())
+                << "topic " << edge.topic
+                << " traced as external but statically advertised "
+                   "only by nodes";
+            continue;
+        }
+        bool advertised = false;
+        for (const graph::PubSite &pub : entry->second.pubs)
+            advertised |= pub.node == edge.from;
+        EXPECT_TRUE(advertised)
+            << "traced publisher " << edge.from << " of "
+            << edge.topic << " has no static advertise site";
+    }
+}
+
+} // namespace
