@@ -10,14 +10,16 @@
 #   4. trace stage: the ctest label 'trace' (critical-path report +
 #      guarded-optimizer accept/rollback smoke over a traced drive,
 #      DESIGN.md §14)
-#   5. rebuild + ctest under AddressSanitizer + UBSan, then the
-#      transport microbench smoke (lock-free SPSC ring + loaned
-#      messages, DESIGN.md §12) under the same build
-#   6. rebuild + ctest under ThreadSanitizer (the Runner's worker
+#   5. chaos stage: the ctest label 'chaos' (compound-fault campaign
+#      + safety invariants + plan minimization, DESIGN.md §15)
+#   6. rebuild + ctest under AddressSanitizer + UBSan, then the
+#      transport microbench, critical-path and chaos-campaign smokes
+#      under the same build
+#   7. rebuild + ctest under ThreadSanitizer (the Runner's worker
 #      pool and result cache run real threads; TSan proves the
-#      isolation contract DESIGN.md §10 describes), then the
-#      transport microbench smoke again — TSan is what proves the
-#      ring's cross-thread acquire/release protocol clean
+#      isolation contract DESIGN.md §10 describes), then the same
+#      three smokes again — TSan is what proves the ring's
+#      cross-thread acquire/release protocol clean
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 # Exit code is non-zero if any stage fails.
@@ -55,6 +57,9 @@ ctest --test-dir "$BUILD" --output-on-failure -L graph
 step "trace smoke (critical path + guarded optimizer, ctest label 'trace')"
 ctest --test-dir "$BUILD" --output-on-failure -L trace
 
+step "chaos smoke (compound-fault campaign + minimizer, ctest label 'chaos')"
+ctest --test-dir "$BUILD" --output-on-failure -L chaos
+
 step "sanitizers: configure + build ($ASAN_BUILD)"
 cmake -B "$ASAN_BUILD" -S "$ROOT" \
     -DAVSCOPE_SANITIZE="address;undefined"
@@ -77,6 +82,11 @@ ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "$ASAN_BUILD/bench/critical_path" --smoke --duration 6 --no-cache
 
+step "chaos-campaign smoke (ASan + UBSan)"
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "$ASAN_BUILD/bench/chaos_campaign" --smoke --duration 6 --no-cache
+
 step "sanitizers: configure + build ($TSAN_BUILD)"
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
     -DAVSCOPE_SANITIZE="thread"
@@ -93,5 +103,9 @@ TSAN_OPTIONS="halt_on_error=1" \
 step "critical-path smoke (TSan)"
 TSAN_OPTIONS="halt_on_error=1" \
     "$TSAN_BUILD/bench/critical_path" --smoke --duration 6 --no-cache
+
+step "chaos-campaign smoke (TSan)"
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_BUILD/bench/chaos_campaign" --smoke --duration 6 --no-cache
 
 step "all checks passed"

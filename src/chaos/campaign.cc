@@ -1,0 +1,306 @@
+#include "chaos/chaos.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "perception/nodes.hh"
+#include "stack/safety.hh"
+#include "util/random.hh"
+#include "world/recorder.hh"
+
+namespace av::chaos {
+
+namespace {
+
+/**
+ * The sampling palette: every FaultKind, each with an intensity →
+ * FaultSpec mapping. Kinds are distinct within a cell by
+ * construction (sampling without replacement), so a sampled plan can
+ * never trip the FaultInjector's ambiguity rejections — those only
+ * concern same-kind overlaps and byte-identical duplicates.
+ */
+constexpr std::size_t kPalette = 9;
+
+/** Window grid: every sampled start/duration lands on 50 ms. */
+constexpr sim::Tick kGrid = 50 * sim::oneMs;
+
+sim::Tick
+quantTick(double ticks)
+{
+    const auto cells = static_cast<sim::Tick>(ticks / kGrid);
+    return std::max<sim::Tick>(1, cells) * kGrid;
+}
+
+/** Extra-delay grid: 10 ms. */
+sim::Tick
+quantDelay(double ticks)
+{
+    constexpr sim::Tick grid = 10 * sim::oneMs;
+    const auto cells = static_cast<sim::Tick>(ticks / grid);
+    return std::max<sim::Tick>(1, cells) * grid;
+}
+
+double
+seconds(double s)
+{
+    return s * static_cast<double>(sim::oneSec);
+}
+
+/** Append the palette entry @p slot at @p intensity to @p plan. */
+void
+appendFault(fault::FaultPlan &plan, std::size_t slot,
+            double intensity, sim::Tick start)
+{
+    const double i = intensity;
+    switch (slot) {
+    case 0:
+        // The ego covers ~8 m/s, so a stale NDT pose diverges at
+        // that rate: the default 3 m bound survives ~0.37 s of
+        // LiDAR silence. Scale the window across that knee so the
+        // frontier has both survivable and violating intensities.
+        plan.lidarBlackout(start, quantTick(seconds(0.1 + 0.5 * i)));
+        break;
+    case 1:
+        plan.cameraBlackout(start, quantTick(seconds(3.0 * i)));
+        break;
+    case 2:
+        plan.gnssBlackout(start, quantTick(seconds(4.0 * i)));
+        break;
+    case 3:
+        plan.frameLoss(world::topics::pointsRaw, start,
+                       quantTick(seconds(1.0 + 1.5 * i)),
+                       0.1 + 0.35 * i);
+        break;
+    case 4:
+        plan.nodeCrash("euclidean_cluster", start,
+                       quantTick(seconds(0.4 + 1.6 * i)));
+        break;
+    case 5:
+        plan.messageDelay(perception::topics::filteredPoints, start,
+                          quantTick(seconds(1.2 + 1.2 * i)),
+                          quantDelay(seconds(0.18 * i)));
+        break;
+    case 6:
+        plan.messageDuplicate(perception::topics::imageObjects,
+                              start,
+                              quantTick(seconds(1.0 + 1.0 * i)), i);
+        break;
+    case 7:
+        plan.messageCorrupt(perception::topics::lidarObjects, start,
+                            quantTick(seconds(1.0 + 1.0 * i)),
+                            0.2 + 0.6 * i);
+        break;
+    case 8:
+        plan.gpuThrottle(start, quantTick(seconds(1.0 + 2.0 * i)),
+                         1.0 - 0.75 * i);
+        break;
+    default:
+        break;
+    }
+}
+
+} // namespace
+
+std::size_t
+paletteSize()
+{
+    return kPalette;
+}
+
+const char *
+cellClassName(CellClass cls)
+{
+    switch (cls) {
+    case CellClass::Recovered:
+        return "recovered";
+    case CellClass::Degraded:
+        return "degraded";
+    case CellClass::Violated:
+        return "violated";
+    }
+    return "unknown";
+}
+
+CampaignRunner::CampaignRunner(exp::Runner &runner,
+                               CampaignSpec spec)
+    : runner_(runner), spec_(std::move(spec))
+{
+    if (spec_.cells == 0)
+        throw std::invalid_argument("campaign needs >= 1 cell");
+    if (spec_.minFaults < 1 || spec_.minFaults > spec_.maxFaults ||
+        spec_.maxFaults > kPalette)
+        throw std::invalid_argument(
+            "campaign fault-count bounds must satisfy 1 <= min <= "
+            "max <= palette size");
+    if (!(spec_.minIntensity > 0.0) ||
+        spec_.minIntensity > spec_.maxIntensity ||
+        spec_.maxIntensity > 1.0)
+        throw std::invalid_argument(
+            "campaign intensities must satisfy 0 < min <= max <= 1");
+    if (!spec_.base.config.safety.enabled)
+        throw std::invalid_argument(
+            "campaign base spec must arm the safety monitor "
+            "(ExperimentSpec::invariants()) — without invariants no "
+            "cell could ever be classified as violated");
+}
+
+CampaignCell
+CampaignRunner::cellFor(std::size_t index) const
+{
+    util::Rng rng = util::Rng(spec_.seed).fork(index);
+    CampaignCell cell;
+    cell.index = index;
+    cell.plan.seed = rng.next();
+
+    const auto span = static_cast<std::int64_t>(spec_.maxFaults -
+                                                spec_.minFaults);
+    const std::size_t count =
+        spec_.minFaults +
+        (span > 0
+             ? static_cast<std::size_t>(rng.uniformInt(0, span))
+             : 0);
+
+    // Sample without replacement so kinds are distinct per cell.
+    std::vector<std::size_t> pool(kPalette);
+    std::iota(pool.begin(), pool.end(), 0);
+
+    // Intensities live on a 1/64 grid: exact in binary, so they
+    // render, hash and halve without rounding drift.
+    const auto lo = static_cast<std::int64_t>(
+        spec_.minIntensity * 64.0 + 0.999999);
+    const auto hi =
+        static_cast<std::int64_t>(spec_.maxIntensity * 64.0);
+
+    for (std::size_t j = 0; j < count; ++j) {
+        const auto pick = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(pool.size()) - 1));
+        const std::size_t slot = pool[pick];
+        pool.erase(pool.begin() +
+                   static_cast<std::ptrdiff_t>(pick));
+
+        const double intensity =
+            static_cast<double>(lo >= hi ? lo
+                                         : rng.uniformInt(lo, hi)) /
+            64.0;
+        // Onsets cluster in the drive's first half so the sampled
+        // windows overlap — the whole point of a *compound* cell.
+        const sim::Tick start = quantTick(
+            static_cast<double>(spec_.base.driveDuration) *
+            rng.uniform(0.2, 0.45));
+
+        appendFault(cell.plan, slot, intensity, start);
+        cell.sampled.push_back(SampledFault{
+            cell.plan.faults.back().kind, intensity});
+    }
+    return cell;
+}
+
+exp::ExperimentSpec
+CampaignRunner::specFor(const CampaignCell &cell) const
+{
+    exp::ExperimentSpec out = spec_.base;
+    out.config.faults = cell.plan;
+    std::ostringstream label;
+    label << spec_.base.label << "/cell" << cell.index;
+    out.label = label.str();
+    return out;
+}
+
+const std::vector<CellOutcome> &
+CampaignRunner::run()
+{
+    if (ran_)
+        return outcomes_;
+    std::vector<CampaignCell> cells;
+    std::vector<std::size_t> ids;
+    cells.reserve(spec_.cells);
+    ids.reserve(spec_.cells);
+    for (std::size_t i = 0; i < spec_.cells; ++i) {
+        cells.push_back(cellFor(i));
+        ids.push_back(runner_.submit(specFor(cells.back())));
+    }
+    outcomes_.reserve(spec_.cells);
+    for (std::size_t i = 0; i < spec_.cells; ++i) {
+        const prof::RunResult &result = runner_.result(ids[i]);
+        CellOutcome out;
+        out.cell = std::move(cells[i]);
+        out.cls = classify(result);
+        out.violationCount = result.violations.size();
+        if (!result.violations.empty())
+            out.firstViolation =
+                stack::violationLabel(result.violations.front());
+        for (const fault::FaultOutcome &fo : result.faults)
+            if (fo.recoveryMs < 0.0)
+                ++out.unrecovered;
+        out.worstPathMs = result.worstCaseP99();
+        outcomes_.push_back(std::move(out));
+    }
+    ran_ = true;
+    return outcomes_;
+}
+
+CellClass
+classify(const prof::RunResult &result)
+{
+    if (!result.violations.empty())
+        return CellClass::Violated;
+    for (const fault::FaultOutcome &fo : result.faults)
+        if (fo.recoveryMs < 0.0)
+            return CellClass::Degraded;
+    return CellClass::Recovered;
+}
+
+std::vector<FrontierRow>
+resilienceFrontier(const std::vector<CellOutcome> &outcomes)
+{
+    // Indexed by FaultKind's underlying value; emitted in kind order.
+    std::vector<FrontierRow> rows(kPalette);
+    for (std::size_t k = 0; k < kPalette; ++k)
+        rows[k].kind = static_cast<fault::FaultKind>(k);
+    for (const CellOutcome &out : outcomes) {
+        for (const SampledFault &sf : out.cell.sampled) {
+            FrontierRow &row =
+                rows[static_cast<std::size_t>(sf.kind)];
+            ++row.cells;
+            if (out.cls == CellClass::Violated) {
+                ++row.violated;
+                if (row.violated == 1 ||
+                    sf.intensity < row.minViolatedIntensity)
+                    row.minViolatedIntensity = sf.intensity;
+            } else {
+                row.maxSurvivedIntensity = std::max(
+                    row.maxSurvivedIntensity, sf.intensity);
+            }
+        }
+    }
+    std::vector<FrontierRow> present;
+    for (const FrontierRow &row : rows)
+        if (row.cells != 0)
+            present.push_back(row);
+    return present;
+}
+
+std::string
+canonicalPlan(const fault::FaultPlan &plan)
+{
+    std::ostringstream os;
+    os << "seed " << plan.seed << '\n';
+    for (const fault::FaultSpec &spec : plan.faults) {
+        os << fault::faultKindName(spec.kind) << " start="
+           << spec.start / sim::oneMs << "ms dur="
+           << spec.duration / sim::oneMs << "ms target="
+           << (spec.target.empty() ? "-" : spec.target)
+           << " p=" << spec.probability
+           << " factor=" << spec.factor
+           << " extra=" << spec.extraDelay / sim::oneMs
+           << "ms respawn=" << spec.respawnDelay / sim::oneMs
+           << "ms watch="
+           << (spec.watchTopic.empty() ? "-" : spec.watchTopic)
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace av::chaos

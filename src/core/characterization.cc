@@ -71,6 +71,15 @@ CharacterizationRun::CharacterizationRun(
         recovery_ = std::make_unique<RecoveryProbe>(recorder_,
                                                     config_.faults);
     }
+    if (config_.safety.enabled) {
+        // Ground truth is rebuilt from the drive's config — the
+        // same pure queries the sensors sampled when recording.
+        safetyScenario_ = std::make_unique<world::Scenario>(
+            drive_->scenarioConfig);
+        safety_ = std::make_unique<stack::SafetyMonitor>(
+            *graph_, *stack_, *safetyScenario_, config_.safety,
+            drive_->duration);
+    }
 }
 
 CharacterizationRun::~CharacterizationRun() = default;
@@ -85,11 +94,15 @@ CharacterizationRun::execute()
     util_->start();
     power_->start();
     staleness_->start();
+    if (safety_)
+        safety_->start();
     drive_->bag.replay(*graph_);
     eq_->runUntil(drive_->duration + config_.drainGrace);
     util_->stop();
     power_->stop();
     staleness_->stop();
+    if (safety_)
+        safety_->stop();
     // Drain whatever is still in flight (bounded).
     eq_->runUntil(drive_->duration + 2 * config_.drainGrace);
 }
@@ -171,6 +184,13 @@ CharacterizationRun::resilienceCounters() const
             {"ndt_reseeds", reseeds},
             {"watchdog_stale_events", stale_events},
             {"crash_discarded", crash_discarded}};
+}
+
+std::vector<stack::SafetyViolation>
+CharacterizationRun::safetyViolations() const
+{
+    return safety_ ? safety_->violations()
+                   : std::vector<stack::SafetyViolation>();
 }
 
 const util::SampleSeries *

@@ -18,6 +18,7 @@
 #include "ros/bag.hh"
 #include "trace/dag.hh"
 #include "stack/autoware_stack.hh"
+#include "stack/safety.hh"
 #include "world/map_builder.hh"
 #include "world/recorder.hh"
 
@@ -74,6 +75,13 @@ struct RunConfig
      * Folds into the experiment cache key.
      */
     bool trace = false;
+
+    /**
+     * Safety-invariant thresholds; SafetyOptions::enabled arms the
+     * SafetyMonitor against this run (ground truth rebuilt from the
+     * drive's ScenarioConfig). Folds into the experiment cache key.
+     */
+    stack::SafetyOptions safety;
 
     /**
      * Runtime subscription queue-depth overrides, applied before the
@@ -172,6 +180,18 @@ class CharacterizationRun
     std::vector<std::pair<std::string, double>>
     resilienceCounters() const;
 
+    /**
+     * Safety-invariant violations recorded by the monitor, in
+     * detection order. Empty when RunConfig::safety is disabled.
+     */
+    std::vector<stack::SafetyViolation> safetyViolations() const;
+
+    /** The monitor itself; nullptr when safety is disabled. */
+    const stack::SafetyMonitor *safety() const
+    {
+        return safety_.get();
+    }
+
   private:
     std::shared_ptr<const DriveData> drive_;
     RunConfig config_;
@@ -188,6 +208,10 @@ class CharacterizationRun
     std::unique_ptr<StalenessMonitor> staleness_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<RecoveryProbe> recovery_;
+    /** Ground truth + monitor; only built when safety is enabled.
+     *  Declared after stack_ (the monitor taps its topics). */
+    std::unique_ptr<world::Scenario> safetyScenario_;
+    std::unique_ptr<stack::SafetyMonitor> safety_;
     bool executed_ = false;
 };
 

@@ -101,6 +101,15 @@ RunResult::resilienceOf(const std::string &name) const
     return secondsOf(resilience, name);
 }
 
+std::uint64_t
+RunResult::violationsOf(stack::InvariantKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const stack::SafetyViolation &v : violations)
+        n += v.kind == kind;
+    return n;
+}
+
 RunResult
 snapshotRun(const CharacterizationRun &run, std::string label)
 {
@@ -152,6 +161,7 @@ snapshotRun(const CharacterizationRun &run, std::string label)
     for (const StalenessRow &row : run.staleness().rows())
         out.staleness.push_back({row.topic, row.ageMs});
     out.resilience = run.resilienceCounters();
+    out.violations = run.safetyViolations();
     out.transportMode =
         ros::transportModeName(run.config().transport.mode);
     out.transport = run.graph().transportCounters();

@@ -75,6 +75,12 @@ struct RunResult
     /** Degradation-response counters (fixed schema). */
     std::vector<std::pair<std::string, double>> resilience;
 
+    /**
+     * Safety-invariant violations in detection order; empty when
+     * the run's SafetyOptions were disabled (or nothing breached).
+     */
+    std::vector<stack::SafetyViolation> violations;
+
     /** Transport mode the run used ("copy" / "loan"). */
     std::string transportMode;
 
@@ -97,6 +103,9 @@ struct RunResult
 
     /** Resilience counter by name; 0 when unknown. */
     double resilienceOf(const std::string &name) const;
+
+    /** Violations of one invariant kind. */
+    std::uint64_t violationsOf(stack::InvariantKind kind) const;
 
     /**
      * Latency series of one node; nullptr when the node was absent

@@ -137,7 +137,7 @@ expect(std::istream &is, const char *word)
 }
 
 constexpr const char *kMagic = "avscope-result";
-constexpr int kVersion = 4; // v4: trace section (DAG analysis)
+constexpr int kVersion = 5; // v5: safety-violations section
 
 void
 serialize(std::ostream &os, const prof::RunResult &run)
@@ -215,6 +215,14 @@ serialize(std::ostream &os, const prof::RunResult &run)
            << ' ' << row.corrupted << ' ' << row.duplicated << ' '
            << row.delayed << '\n';
     }
+
+    // Violation subjects are token-safe by construction (topic
+    // names or "actor_<id>"); values are bit-exact.
+    os << "violations " << run.violations.size() << '\n';
+    for (const stack::SafetyViolation &row : run.violations)
+        os << stack::invariantName(row.kind) << ' ' << row.time
+           << ' ' << row.subject << ' ' << encF(row.value) << ' '
+           << encF(row.bound) << '\n';
 
     os << "transport " << run.transportMode << ' '
        << run.transport.published << ' ' << run.transport.deliveries
@@ -373,6 +381,19 @@ parse(std::istream &is, prof::RunResult &run)
             return false;
         if (!(is >> row.suppressed >> row.corrupted >>
               row.duplicated >> row.delayed))
+            return false;
+    }
+
+    if (!expect(is, "violations") || !getCount(is, count))
+        return false;
+    run.violations.resize(count);
+    for (stack::SafetyViolation &row : run.violations) {
+        std::string kind;
+        if (!(is >> kind) ||
+            !stack::invariantFromName(kind, row.kind))
+            return false;
+        if (!(is >> row.time >> row.subject) ||
+            !getF(is, row.value) || !getF(is, row.bound))
             return false;
     }
 

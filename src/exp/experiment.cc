@@ -121,6 +121,21 @@ fold(Hasher &h, const fault::FaultPlan &plan)
 }
 
 void
+fold(Hasher &h, const stack::SafetyOptions &c)
+{
+    h.tag("safety");
+    h.boolean(c.enabled);
+    h.u64(c.samplePeriod);
+    h.f64(c.trackRange);
+    h.f64(c.trackGate);
+    h.u64(c.trackLossSamples);
+    h.f64(c.maxLocalizationError);
+    h.f64(c.deadlineMs);
+    h.u64(c.deadlineMissStreak);
+    h.u64(c.livenessAfter);
+}
+
+void
 fold(Hasher &h, const hw::MachineConfig &c)
 {
     h.tag("cpu");
@@ -222,9 +237,10 @@ cacheKey(const ExperimentSpec &spec)
     Hasher h;
     // Format version: bump whenever the key encoding, the RunConfig
     // field set or the result file format changes, so stale cache
-    // entries miss instead of misloading. v4: trace flag, queue-
-    // depth overrides, trace section in the result file.
-    h.tag("avscope-exp-v4");
+    // entries miss instead of misloading. v5: safety-invariant
+    // thresholds, violations section in the result file,
+    // content-derived fault Rng salts.
+    h.tag("avscope-exp-v5");
     foldDrive(h, spec);
     fold(h, spec.config.stack);
     fold(h, spec.config.machine);
@@ -234,6 +250,7 @@ cacheKey(const ExperimentSpec &spec)
     h.u64(spec.config.samplePeriod);
     h.u64(spec.config.drainGrace);
     fold(h, spec.config.faults);
+    fold(h, spec.config.safety);
     h.tag("trace");
     h.boolean(spec.config.trace);
     h.tag("queuedepths");

@@ -134,6 +134,20 @@ struct ExperimentSpec
     }
 
     /**
+     * Arm the safety-invariant monitor with the given thresholds
+     * (cache-key salted; every threshold folds in). The monitor is
+     * a pure observer — enabling it changes no measurement, but the
+     * result gains the violations section, hence the salt.
+     */
+    ExperimentSpec &invariants(const stack::SafetyOptions &options =
+                                   stack::SafetyOptions())
+    {
+        config.safety = options;
+        config.safety.enabled = true;
+        return *this;
+    }
+
+    /**
      * Retain the full trace event stream and attach the execution-
      * DAG analysis to the result (cache-key salted). Named traced()
      * — not trace() — so reading a call site never confuses the

@@ -8,7 +8,7 @@
 namespace av::exp {
 
 Runner::Runner(RunnerConfig config)
-    : cache_(std::move(config.cacheDir))
+    : cache_(std::move(config.cacheDir)), timeoutMs_(config.timeoutMs)
 {
     const unsigned hardware = std::thread::hardware_concurrency();
     jobs_ = config.jobs != 0 ? config.jobs
@@ -36,7 +36,8 @@ Runner::submit(ExperimentSpec spec)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         id = queue_.size();
-        queue_.push_back(Job{std::move(spec), {}, nullptr, false});
+        queue_.emplace_back();
+        queue_.back().spec = std::move(spec);
         pending_.push_back(id);
     }
     workReady_.notify_one();
@@ -49,7 +50,29 @@ Runner::result(std::size_t id)
     std::unique_lock<std::mutex> lock(mutex_);
     AV_ASSERT(id < queue_.size(), "unknown job id ", id);
     Job &job = queue_[id];
-    jobDone_.wait(lock, [&job] { return job.done; });
+    if (timeoutMs_ <= 0) {
+        jobDone_.wait(lock, [&job] { return job.done; });
+    } else {
+        // Watchdog: wait in slices, and once the job has been
+        // *executing* past the budget, surface a structured timeout
+        // instead of blocking forever. The worker keeps running —
+        // its slot, the drive memo and the result slot all survive,
+        // and waiting again later is legal (a finished job always
+        // returns). Host clock on purpose: a livelocked replay
+        // makes no virtual-time progress to watch.
+        const std::chrono::milliseconds slice(std::min<long>(
+            std::max<long>(timeoutMs_, 1), 50));
+        while (!job.done) {
+            if (job.started &&
+                // avlint: allow(wall-clock)
+                std::chrono::steady_clock::now() - job.startedAt >
+                    std::chrono::milliseconds(timeoutMs_))
+                throw JobTimeoutError(id, job.spec.label,
+                                      timeoutMs_);
+            jobDone_.wait_for(lock, slice,
+                              [&job] { return job.done; });
+        }
+    }
     if (job.error)
         std::rethrow_exception(job.error);
     return job.result;
@@ -87,6 +110,9 @@ Runner::workerLoop()
             // reference it yields never moves afterwards.
             job = &queue_[pending_.front()];
             pending_.pop_front();
+            job->started = true;
+            // avlint: allow(wall-clock)
+            job->startedAt = std::chrono::steady_clock::now();
         }
         // A throwing experiment must not kill the worker (losing the
         // pool slot) or leave its waiter blocked forever: capture the

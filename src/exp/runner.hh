@@ -25,6 +25,7 @@
 #define AVSCOPE_EXP_RUNNER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -32,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +49,48 @@ struct RunnerConfig
     unsigned jobs = 0;
     /** Result-cache directory; empty disables caching. */
     std::string cacheDir;
+    /**
+     * Per-job wall-clock watchdog in host milliseconds; 0 disables.
+     * When a job has been *executing* longer than this, result() /
+     * collect() throw JobTimeoutError instead of blocking forever —
+     * the structured surface for a hung or livelocked replay. The
+     * job itself keeps running (there is no safe way to kill a
+     * worker mid-simulation): its pool slot, drive memo and result
+     * slot all survive, and a later result() call returns normally
+     * once it finishes. Wall-clock by necessity — a livelocked
+     * simulation makes no virtual-time progress to measure — and
+     * the timeout feeds no measurement, so determinism holds.
+     */
+    long timeoutMs = 0;
+};
+
+/**
+ * Thrown by Runner::result()/collect() when a job exceeds the
+ * configured wall-clock watchdog while still executing. Catchable
+ * separately from experiment failures: the job is *late*, not
+ * failed, and waiting again is legal.
+ */
+class JobTimeoutError : public std::runtime_error
+{
+  public:
+    JobTimeoutError(std::size_t job_id, const std::string &label,
+                    long timeout_ms)
+        : std::runtime_error("experiment '" + label + "' (job " +
+                             std::to_string(job_id) +
+                             ") still running after " +
+                             std::to_string(timeout_ms) + " ms"),
+          jobId_(job_id), label_(label), timeoutMs_(timeout_ms)
+    {
+    }
+
+    std::size_t jobId() const { return jobId_; }
+    const std::string &label() const { return label_; }
+    long timeoutMs() const { return timeoutMs_; }
+
+  private:
+    std::size_t jobId_;
+    std::string label_;
+    long timeoutMs_;
 };
 
 class Runner
@@ -66,7 +110,10 @@ class Runner
      * reference stays valid for the Runner's lifetime. If the
      * experiment threw on its worker (e.g. a FaultPlan naming an
      * unknown node), the exception is rethrown here — a failed job
-     * never deadlocks its waiter or leaks its worker slot.
+     * never deadlocks its waiter or leaks its worker slot. With
+     * RunnerConfig::timeoutMs set, throws JobTimeoutError once the
+     * job has been executing past the watchdog; a finished job
+     * always returns its result, however late.
      */
     const prof::RunResult &result(std::size_t id);
 
@@ -93,6 +140,12 @@ class Runner
         /** Set instead of result when the replay threw. */
         std::exception_ptr error;
         bool done = false;
+        /** Claimed by a worker (startedAt valid from then on). */
+        bool started = false;
+        /** Host clock, for the watchdog only (never a measurement).
+         */
+        // avlint: allow(wall-clock)
+        std::chrono::steady_clock::time_point startedAt;
     };
 
     void workerLoop();
@@ -102,6 +155,7 @@ class Runner
 
     ResultCache cache_;
     unsigned jobs_ = 1;
+    long timeoutMs_ = 0; ///< RunnerConfig::timeoutMs
 
     std::mutex mutex_; ///< guards jobs_, queue_ and Job::done
     std::condition_variable workReady_;

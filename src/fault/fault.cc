@@ -1,5 +1,6 @@
 #include "fault/fault.hh"
 
+#include <bit>
 #include <stdexcept>
 
 #include "perception/nodes.hh"
@@ -83,7 +84,59 @@ defaultWatchTopic(const FaultSpec &spec)
     return spec.target;
 }
 
+std::uint64_t
+faultSalt(const FaultSpec &spec)
+{
+    // FNV-1a over every spec field, matching the hashing discipline
+    // of exp::cacheKey: the stream identity is the fault's content.
+    std::uint64_t h = 14695981039346656037ULL;
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    const auto fold = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= kPrime;
+        }
+    };
+    const auto foldText = [&h](const std::string &s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= kPrime;
+        }
+        h ^= 0xffu; // separator: "ab"+"c" != "a"+"bc"
+        h *= kPrime;
+    };
+    fold(static_cast<std::uint64_t>(spec.kind));
+    fold(spec.start);
+    fold(spec.duration);
+    foldText(spec.target);
+    fold(std::bit_cast<std::uint64_t>(spec.probability));
+    fold(std::bit_cast<std::uint64_t>(spec.factor));
+    fold(spec.extraDelay);
+    fold(spec.respawnDelay);
+    foldText(spec.watchTopic);
+    return h;
+}
+
 namespace {
+
+/** True when the [start, end) windows of @p a and @p b intersect. */
+bool
+windowsOverlap(const FaultSpec &a, const FaultSpec &b)
+{
+    return a.start < faultWindowEnd(b) && b.start < faultWindowEnd(a);
+}
+
+/** Byte-identical specs: every field equal. */
+bool
+sameSpec(const FaultSpec &a, const FaultSpec &b)
+{
+    return a.kind == b.kind && a.start == b.start &&
+           a.duration == b.duration && a.target == b.target &&
+           a.probability == b.probability && a.factor == b.factor &&
+           a.extraDelay == b.extraDelay &&
+           a.respawnDelay == b.respawnDelay &&
+           a.watchTopic == b.watchTopic;
+}
 
 FaultSpec
 makeSpec(FaultKind kind, sim::Tick start, sim::Tick duration,
@@ -227,6 +280,34 @@ FaultInjector::FaultInjector(ros::RosGraph &graph,
                              : spec.watchTopic;
         outcomes_.push_back(std::move(out));
     }
+    // Reject the genuinely ambiguous overlaps (see class comment);
+    // everything else composes commutatively and may overlap freely.
+    for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+        for (std::size_t j = i + 1; j < plan_.faults.size(); ++j) {
+            const FaultSpec &a = plan_.faults[i];
+            const FaultSpec &b = plan_.faults[j];
+            if (sameSpec(a, b))
+                throw std::invalid_argument(
+                    "fault plan: duplicate fault '" + faultLabel(a) +
+                    "' — identical specs share one Rng stream; vary "
+                    "a field to make the streams independent");
+            if (a.kind != b.kind)
+                continue;
+            if (a.kind == FaultKind::GpuThrottle &&
+                windowsOverlap(a, b))
+                throw std::invalid_argument(
+                    "fault plan: overlapping GPU throttle windows "
+                    "('" + faultLabel(a) + "', '" + faultLabel(b) +
+                    "') — the first window's end would reset the "
+                    "factor under the second");
+            if (a.kind == FaultKind::NodeCrash &&
+                a.target == b.target && windowsOverlap(a, b))
+                throw std::invalid_argument(
+                    "fault plan: overlapping crash windows for node "
+                    "'" + a.target + "' — crash-while-down has no "
+                    "defined respawn order");
+        }
+    }
 }
 
 void
@@ -244,8 +325,7 @@ FaultInjector::arm()
             armGpuThrottle(spec);
             break;
           default:
-            armTransportFault(spec, &outcomes_[i],
-                              static_cast<std::uint64_t>(i));
+            armTransportFault(spec, &outcomes_[i]);
             break;
         }
     }
@@ -253,13 +333,14 @@ FaultInjector::arm()
 
 void
 FaultInjector::armTransportFault(const FaultSpec &spec,
-                                 FaultOutcome *out,
-                                 std::uint64_t salt)
+                                 FaultOutcome *out)
 {
     // Each fault gets an independent stream forked from the plan
-    // seed; publish order is deterministic, so the draw sequence —
-    // and therefore every probabilistic decision — replays exactly.
-    util::Rng rng = util::Rng(plan_.seed).fork(salt);
+    // seed, salted by the fault's *content* (not its plan index):
+    // publish order is deterministic, so the draw sequence — and
+    // therefore every probabilistic decision — replays exactly, and
+    // reordering the plan cannot change any stream.
+    util::Rng rng = util::Rng(plan_.seed).fork(faultSalt(spec));
     const sim::Tick start = spec.start;
     const sim::Tick end = spec.start + spec.duration;
     const FaultKind kind = spec.kind;

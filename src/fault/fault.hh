@@ -86,6 +86,17 @@ std::string faultLabel(const FaultSpec &spec);
 std::string defaultWatchTopic(const FaultSpec &spec);
 
 /**
+ * Content-derived Rng-stream salt for one fault: an FNV-1a hash over
+ * every FaultSpec field. Overlapping transport faults compose
+ * commutatively at the minros layer (any drop wins, any corrupt
+ * wins, delays add, duplicate counts add — see ros::TransportFaults),
+ * so with content-derived streams the *order* faults appear in a
+ * plan cannot change the run: each fault draws from a stream defined
+ * by what it is, not by where it sits in the vector.
+ */
+std::uint64_t faultSalt(const FaultSpec &spec);
+
+/**
  * A replayable fault schedule. Build fluently:
  *
  *   auto plan = FaultPlan()
@@ -147,6 +158,20 @@ struct FaultOutcome
  * run. Throws std::invalid_argument for a plan referencing an unknown
  * node or an empty topic target — a plan typo must not silently
  * no-op an experiment.
+ *
+ * Composition rule for overlapping windows: transport faults merge
+ * commutatively (see faultSalt), so any set of them may overlap on
+ * any topic and the plan's fault order is immaterial. Three shapes
+ * are *genuinely* ambiguous and rejected from the ctor instead:
+ *  - two byte-identical FaultSpecs (their Rng streams would collapse
+ *    into one correlated stream — duplicate the window with distinct
+ *    probabilities or starts if doubling intensity is intended),
+ *  - overlapping GpuThrottle windows (the earlier window's end event
+ *    resets the throttle factor to 1.0 while the later window is
+ *    still open — last-writer-wins on a global knob),
+ *  - overlapping NodeCrash windows on the same node (crashing an
+ *    already-crashed node and racing its respawns has no defined
+ *    semantics).
  */
 class FaultInjector
 {
@@ -169,8 +194,7 @@ class FaultInjector
     /** Stable storage: policies capture pointers into this deque. */
     std::deque<FaultOutcome> outcomes_;
 
-    void armTransportFault(const FaultSpec &spec, FaultOutcome *out,
-                           std::uint64_t salt);
+    void armTransportFault(const FaultSpec &spec, FaultOutcome *out);
     void armNodeCrash(const FaultSpec &spec);
     void armGpuThrottle(const FaultSpec &spec);
 };

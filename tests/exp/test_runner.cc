@@ -300,6 +300,56 @@ TEST(Runner, ThrowingExperimentPropagatesWithoutDeadlock)
     EXPECT_EQ(runner.result(good_id).label, "still works");
 }
 
+TEST(Runner, WatchdogReportsStalledJobWithoutKillingSlot)
+{
+    // A 12 s replay takes well over 100 ms of wall time, so the
+    // watchdog fires while the job is still executing. The stall is
+    // *reported*, not cancelled: waiting again returns the finished
+    // result, and the worker slot keeps serving later submissions.
+    exp::Runner runner(exp::RunnerConfig{1, "", 100});
+    const std::size_t slow_id = runner.submit(
+        exp::spec().durationSeconds(12).named("slow"));
+
+    bool timed_out = false;
+    try {
+        runner.result(slow_id);
+    } catch (const exp::JobTimeoutError &error) {
+        timed_out = true;
+        EXPECT_EQ(error.jobId(), slow_id);
+        EXPECT_EQ(error.label(), "slow");
+        EXPECT_EQ(error.timeoutMs(), 100);
+        EXPECT_NE(std::string(error.what()).find("slow"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(timed_out);
+
+    // A finished job always returns its result, however late.
+    for (;;) {
+        try {
+            EXPECT_EQ(runner.result(slow_id).label, "slow");
+            break;
+        } catch (const exp::JobTimeoutError &) {
+        }
+    }
+
+    const std::size_t next_id = runner.submit(
+        exp::spec().durationSeconds(6).named("after the stall"));
+    for (;;) {
+        try {
+            EXPECT_EQ(runner.result(next_id).label,
+                      "after the stall");
+            break;
+        } catch (const exp::JobTimeoutError &) {
+        }
+    }
+
+    // Both jobs done: collect() no longer times out.
+    const auto all = runner.collect();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0]->label, "slow");
+    EXPECT_EQ(all[1]->label, "after the stall");
+}
+
 TEST(Runner, CorruptedCacheEntryIsAMiss)
 {
     const std::string dir = freshDir("corrupt");

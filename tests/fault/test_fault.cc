@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -329,6 +330,59 @@ TEST(FaultInjector, InvalidPlansThrowBeforeSimulation)
     }
 }
 
+TEST(FaultInjector, AmbiguousCompositionsRejected)
+{
+    Rig rig;
+    struct CrashNode : ros::Node
+    {
+        using ros::Node::Node;
+    };
+    CrashNode node(rig.graph, "victim");
+    node.subscribe<IntMsg>(
+        "/t", 10,
+        [](const ros::Stamped<IntMsg> &,
+           std::function<void()> done) { done(); });
+
+    {
+        // Byte-identical specs would share one Rng stream.
+        fault::FaultPlan plan;
+        plan.frameLoss("/t", oneSec, oneSec, 0.5);
+        plan.frameLoss("/t", oneSec, oneSec, 0.5);
+        EXPECT_THROW(fault::FaultInjector(rig.graph, plan),
+                     std::invalid_argument);
+    }
+    {
+        // Overlapping throttle windows: the first window's end
+        // would reset the factor mid-way through the second.
+        fault::FaultPlan plan;
+        plan.gpuThrottle(oneSec, 2 * oneSec, 0.5);
+        plan.gpuThrottle(2 * oneSec, 2 * oneSec, 0.25);
+        EXPECT_THROW(fault::FaultInjector(rig.graph, plan),
+                     std::invalid_argument);
+    }
+    {
+        // Crash-while-down has no defined respawn order.
+        fault::FaultPlan plan;
+        plan.nodeCrash("victim", oneSec, 2 * oneSec);
+        plan.nodeCrash("victim", 2 * oneSec, 2 * oneSec);
+        EXPECT_THROW(fault::FaultInjector(rig.graph, plan),
+                     std::invalid_argument);
+    }
+    {
+        // Same windows on *different* nodes compose fine — the
+        // rejection is specific, not a blanket same-kind ban.
+        CrashNode other(rig.graph, "other");
+        other.subscribe<IntMsg>(
+            "/t", 10,
+            [](const ros::Stamped<IntMsg> &,
+               std::function<void()> done) { done(); });
+        fault::FaultPlan plan;
+        plan.nodeCrash("victim", oneSec, 2 * oneSec);
+        plan.nodeCrash("other", 2 * oneSec, 2 * oneSec);
+        EXPECT_NO_THROW(fault::FaultInjector(rig.graph, plan));
+    }
+}
+
 TEST(RecoveryProbe, MeasuresOnsetToFirstPostWindowPublication)
 {
     Rig rig;
@@ -412,6 +466,82 @@ TEST(Degradation, CameraBlackoutFallsBackToLidarOnlyFusion)
         if (row.seen && row.ageMs.count() > 0)
             sampled = true;
     EXPECT_TRUE(sampled);
+}
+
+TEST(Degradation, CompoundBlackoutAndThrottleComposeGracefully)
+{
+    // Camera blackout + GPU throttle over the same window: the
+    // fusion falls back to LiDAR-only while the GPU runs slow, both
+    // faults recover, and the resilience counters reflect the
+    // composition rather than one fault masking the other.
+    world::ScenarioConfig scenario;
+    auto drive = prof::makeDrive(scenario, 6 * oneSec);
+
+    prof::RunConfig cfg;
+    cfg.stack.degradation.enabled = true;
+    cfg.faults = fault::FaultPlan()
+                     .cameraBlackout(2 * oneSec, 2 * oneSec)
+                     .gpuThrottle(2 * oneSec, 2 * oneSec, 0.5);
+    prof::CharacterizationRun run(drive, cfg);
+    run.execute();
+
+    const auto outcomes = run.faultOutcomes();
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const fault::FaultOutcome &out : outcomes)
+        EXPECT_GE(out.recoveryMs, 0.0) << out.label;
+
+    const auto resilience = run.resilienceCounters();
+    EXPECT_GT(counterOf(resilience, "fusion_lidar_only"), 0.0);
+    EXPECT_GT(counterOf(resilience, "watchdog_stale_events"), 0.0);
+}
+
+TEST(Degradation, PlanOrderDoesNotChangeOutcomes)
+{
+    // Fault streams are salted by spec *content*, not plan index:
+    // permuting the plan must leave every probabilistic draw — and
+    // therefore outcomes and resilience counters — byte-identical.
+    world::ScenarioConfig scenario;
+    auto drive = prof::makeDrive(scenario, 6 * oneSec);
+
+    fault::FaultPlan forward;
+    forward.seed = 7;
+    forward.lidarBlackout(2 * oneSec, 800 * oneMs)
+        .frameLoss(world::topics::pointsRaw, 2500 * oneMs,
+                   2 * oneSec, 0.5)
+        .gpuThrottle(3 * oneSec, 2 * oneSec, 0.5);
+
+    fault::FaultPlan reversed;
+    reversed.seed = 7;
+    for (auto it = forward.faults.rbegin();
+         it != forward.faults.rend(); ++it)
+        reversed.faults.push_back(*it);
+
+    auto outcomesOf = [&](const fault::FaultPlan &plan) {
+        prof::RunConfig cfg;
+        cfg.stack.degradation.enabled = true;
+        cfg.faults = plan;
+        prof::CharacterizationRun run(drive, cfg);
+        run.execute();
+        auto outs = run.faultOutcomes();
+        std::sort(outs.begin(), outs.end(),
+                  [](const fault::FaultOutcome &a,
+                     const fault::FaultOutcome &b) {
+                      return a.label < b.label;
+                  });
+        return std::make_pair(outs, run.resilienceCounters());
+    };
+
+    const auto [fwd, fwdCounters] = outcomesOf(forward);
+    const auto [rev, revCounters] = outcomesOf(reversed);
+    EXPECT_EQ(fwdCounters, revCounters);
+    ASSERT_EQ(fwd.size(), rev.size());
+    for (std::size_t i = 0; i < fwd.size(); ++i) {
+        EXPECT_EQ(fwd[i].label, rev[i].label);
+        EXPECT_EQ(fwd[i].suppressed, rev[i].suppressed);
+        EXPECT_EQ(fwd[i].publishedDuringWindow,
+                  rev[i].publishedDuringWindow);
+        EXPECT_EQ(fwd[i].recoveryMs, rev[i].recoveryMs);
+    }
 }
 
 TEST(Degradation, LidarBlackoutCoastsTrackerAndReseedsNdt)

@@ -1,0 +1,75 @@
+// Broad catch handlers: swallowing, rethrowing, logging, capturing.
+#include <exception>
+
+void inform(const char *);
+void process();
+
+void
+swallowAll()
+{
+    try {
+        process();
+    } catch (...) { // line 12: swallowed
+    }
+}
+
+void
+swallowStd()
+{
+    try {
+        process();
+    } catch (const std::exception &) { // line 20: swallowed
+        int unused = 0;
+        (void)unused;
+    }
+}
+
+void
+rethrows()
+{
+    try {
+        process();
+    } catch (...) { // clean: rethrows
+        throw;
+    }
+}
+
+void
+logs()
+{
+    try {
+        process();
+    } catch (const std::exception &error) { // clean: reports
+        inform(error.what());
+    }
+}
+
+void
+captures()
+{
+    std::exception_ptr saved;
+    try {
+        process();
+    } catch (...) { // clean: structured capture
+        saved = std::current_exception();
+    }
+}
+
+void
+narrowHandler()
+{
+    try {
+        process();
+    } catch (int) { // clean: narrow typed handler decides
+    }
+}
+
+void
+justified()
+{
+    try {
+        process();
+        // avlint: allow(swallowed-exception)
+    } catch (...) {
+    }
+}

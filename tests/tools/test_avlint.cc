@@ -187,6 +187,27 @@ TEST(Avlint, MutableLoanIsFlowSensitive)
                                        {"mutable-loan", 53}}));
 }
 
+TEST(Avlint, SwallowedExceptionFlagsBroadSilentHandlers)
+{
+    // catch (...) with an empty body and catch (std::exception)
+    // that only shuffles locals both fire; handlers that rethrow,
+    // log through util/logging, capture std::current_exception, or
+    // name a narrow type stay quiet, as does the suppressed case.
+    const auto in_src =
+        lintFile(fixture("swallowed_exception.cc"),
+                 "src/fixture/swallowed_exception.cc");
+    EXPECT_EQ(ruleLines(in_src),
+              (Pairs{{"swallowed-exception", 12},
+                     {"swallowed-exception", 21}}));
+
+    // The rule is src/-only: bench and tools code may legitimately
+    // absorb exceptions at a CLI boundary.
+    const auto in_tools =
+        lintFile(fixture("swallowed_exception.cc"),
+                 "tools/swallowed_exception.cc");
+    EXPECT_TRUE(ruleLines(in_tools).empty());
+}
+
 TEST(Avlint, SortDiagnosticsOrdersByFileLineRule)
 {
     std::vector<Diagnostic> diags = {
@@ -257,10 +278,13 @@ TEST(Avlint, FileLevelSuppressionSilencesWholeFile)
 TEST(Avlint, RuleCatalogIsStable)
 {
     const auto names = av::lint::ruleNames();
-    EXPECT_EQ(names.size(), 10u);
+    EXPECT_EQ(names.size(), 11u);
     EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"),
               names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "mutable-loan"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "swallowed-exception"),
               names.end());
 }
 

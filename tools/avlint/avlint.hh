@@ -42,6 +42,15 @@
  *                     cleans only that block (the name is moved-from
  *                     again once the block closes), and tracking
  *                     ends when the scope containing the move ends
+ *   swallowed-exception
+ *                     catch (...) or catch (std::exception) in src/
+ *                     that neither rethrows nor reports — a silently
+ *                     absorbed exception turns a failed replay into
+ *                     a plausible-looking measurement. Handlers that
+ *                     rethrow, log through util/logging, or capture
+ *                     std::current_exception pass; narrow typed
+ *                     handlers are exempt (they encode a decision
+ *                     about one specific failure)
  *
  * A diagnostic on line N is silenced by `// avlint: allow(<rule>)` on
  * the same line, or on a comment-only line directly above. A

@@ -701,6 +701,72 @@ ruleMutableLoan(const SourceFile &f, Diags &out)
     }
 }
 
+// ---------------------------------------------------------------
+// swallowed-exception: a broad catch block in src/ that neither
+// rethrows nor reports. A silently absorbed exception turns a
+// failed replay into a plausible-looking measurement — worse than
+// a crash for a characterization tool. Narrow typed handlers are
+// fine (they encode a decision about one failure); catch (...) and
+// catch (std::exception) must rethrow, log through util/logging,
+// or capture std::current_exception for a later waiter.
+// ---------------------------------------------------------------
+
+void
+ruleSwallowedException(const SourceFile &f, Diags &out)
+{
+    // Library code only, like print-in-library: benches, examples
+    // and tools own their process and may reasonably absorb a
+    // failure at the top level after printing usage.
+    if (!startsWith(f.relPath(), "src/"))
+        return;
+
+    // Any of these inside the handler body counts as handling:
+    // rethrow, structured capture, or a report through the logger.
+    static const std::set<std::string> handles = {
+        "throw",    "rethrow_exception",
+        "current_exception", "inform",
+        "warn",     "debug",
+        "fatal",    "AV_ASSERT",
+    };
+
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier ||
+            toks[i].text != "catch" || toks[i + 1].text != "(")
+            continue;
+        const std::size_t parenEnd = skipParens(toks, i + 1);
+        // Broad handler: "..." (three '.' Punct tokens) or any
+        // declaration naming `exception` (std::exception and
+        // aliases). Narrow typed handlers pass.
+        bool broad = false;
+        for (std::size_t j = i + 2; j + 1 < parenEnd; ++j) {
+            if (toks[j].text == "." ||
+                (toks[j].kind == TokenKind::Identifier &&
+                 toks[j].text == "exception")) {
+                broad = true;
+                break;
+            }
+        }
+        if (!broad || parenEnd >= toks.size() ||
+            toks[parenEnd].text != "{")
+            continue;
+        const std::size_t bodyEnd = skipBraces(toks, parenEnd);
+        bool handled = false;
+        for (std::size_t j = parenEnd + 1; j + 1 < bodyEnd; ++j) {
+            if (toks[j].kind == TokenKind::Identifier &&
+                handles.count(toks[j].text)) {
+                handled = true;
+                break;
+            }
+        }
+        if (!handled)
+            emit(out, f, toks[i].line, "swallowed-exception",
+                 "broad catch neither rethrows nor reports;"
+                 " rethrow, log through util/logging, or capture"
+                 " std::current_exception");
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -712,6 +778,7 @@ ruleNames()
         "unordered-iter",    "raw-new-delete",
         "print-in-library",  "mutable-global",
         "unseeded-random",   "mutable-loan",
+        "swallowed-exception",
     };
 }
 
@@ -729,6 +796,7 @@ lintSource(const SourceFile &file, const SourceFile *companion)
     ruleMutableGlobal(file, all);
     ruleUnseededRandom(file, all);
     ruleMutableLoan(file, all);
+    ruleSwallowedException(file, all);
 
     Diags kept;
     for (Diagnostic &d : all)
